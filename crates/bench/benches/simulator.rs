@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the simulator substrate: how many
+//! simulated executions per second the experiment harness can sustain,
+//! per workload and scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use seamless_core::SeamlessTuner;
+use simcluster::{ClusterSpec, Simulator, SparkEnv};
+use workloads::{all_workloads, DataScale, Workload};
+
+fn bench_workload_runs(c: &mut Criterion) {
+    let cluster = ClusterSpec::table1_testbed();
+    let cfg = SeamlessTuner::house_default();
+    let env = SparkEnv::resolve(&cluster, &cfg).expect("house default fits");
+    let sim = Simulator::dedicated();
+
+    let mut group = c.benchmark_group("simulate_run");
+    for w in all_workloads() {
+        let job = w.job(DataScale::Small);
+        group.bench_with_input(BenchmarkId::new("small", w.name()), &job, |b, job| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sim.run(&env, job, &mut rng).expect("no crash"));
+        });
+    }
+    // One large-scale case: the Table I DS3 regime. A 128 GB input
+    // needs a DS3-sized configuration — the house default genuinely
+    // driver-OOMs (thousands of tasks on a 1 GB driver) and OOM-loops
+    // its skewed join tasks at 64-way parallelism.
+    let big_cfg = cfg
+        .with(confspace::spark::names::DRIVER_MEMORY_MB, 4096i64)
+        .with(confspace::spark::names::EXECUTOR_INSTANCES, 28i64)
+        .with(confspace::spark::names::EXECUTOR_MEMORY_MB, 8192i64)
+        .with(confspace::spark::names::DEFAULT_PARALLELISM, 512i64);
+    let big_env = SparkEnv::resolve(&cluster, &big_cfg).expect("fits");
+    let job = workloads::Pagerank::new().job(DataScale::Ds3);
+    group.bench_with_input(BenchmarkId::new("ds3", "pagerank"), &job, |b, job| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| sim.run(&big_env, job, &mut rng).expect("no crash"));
+    });
+    group.finish();
+}
+
+fn bench_env_resolve(c: &mut Criterion) {
+    let cluster = ClusterSpec::table1_testbed();
+    let cfg = SeamlessTuner::house_default();
+    c.bench_function("sparkenv_resolve", |b| {
+        b.iter(|| SparkEnv::resolve(&cluster, &cfg).expect("fits"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: the suite is run as part of the deliverable
+    // pipeline, and microsecond-scale effects are visible well before
+    // Criterion's defaults.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_workload_runs, bench_env_resolve
+}
+criterion_main!(benches);

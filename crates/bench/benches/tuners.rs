@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for tuner proposal latency: how long each
+//! strategy takes to propose the next configuration given a 50-entry
+//! history over the 26-parameter Spark space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use confspace::spark::spark_space;
+use confspace::{Sampler, UniformSampler};
+use seamless_core::tuner::TunerKind;
+use seamless_core::Observation;
+
+fn history(n: usize) -> Vec<Observation> {
+    let space = spark_space();
+    let mut rng = StdRng::seed_from_u64(5);
+    UniformSampler
+        .sample_n(&space, n, &mut rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, config)| Observation {
+            config,
+            runtime_s: 50.0 + (i % 17) as f64 * 10.0,
+            cost_usd: 0.1,
+            metrics: None,
+            failure: None,
+        })
+        .collect()
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let space = spark_space();
+    let hist = history(50);
+    let mut group = c.benchmark_group("propose_h50");
+    group.sample_size(10);
+    for kind in TunerKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            let mut tuner = k.build();
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| tuner.propose(&space, &hist, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: the suite is run as part of the deliverable
+    // pipeline, and microsecond-scale effects are visible well before
+    // Criterion's defaults.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_propose
+}
+criterion_main!(benches);

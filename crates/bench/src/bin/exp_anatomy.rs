@@ -1,0 +1,104 @@
+//! **E3 — Fig. 2**: Spark's internal execution anatomy, made visible.
+//!
+//! Runs each workload once on the testbed and prints the job → stage →
+//! task decomposition with the per-stage time breakdown (CPU, IO,
+//! shuffle network, GC, serialization) — the executable counterpart of
+//! the paper's architecture figure, and the evidence for §III-A's point
+//! that critical paths vary workload to workload.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_anatomy`
+
+use bench::{print_table, write_json};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seamless_core::SeamlessTuner;
+use serde::Serialize;
+use simcluster::{ClusterSpec, Simulator, SparkEnv};
+use workloads::{all_workloads, DataScale};
+
+#[derive(Debug, Serialize)]
+struct AnatomyRow {
+    workload: String,
+    stages: usize,
+    tasks: u32,
+    runtime_s: f64,
+    cpu_frac: f64,
+    io_frac: f64,
+    net_frac: f64,
+    gc_frac: f64,
+    ser_frac: f64,
+}
+
+fn main() {
+    println!("E3 / Fig. 2: job -> stages -> tasks anatomy per workload\n");
+    let cluster = ClusterSpec::table1_testbed();
+    let cfg = SeamlessTuner::house_default();
+    let env = SparkEnv::resolve(&cluster, &cfg).expect("house default fits the testbed");
+    let sim = Simulator::dedicated();
+
+    let mut summary = Vec::new();
+    for w in all_workloads() {
+        let job = w.job(DataScale::Small);
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = sim.run(&env, &job, &mut rng).expect("house default succeeds");
+        let m = &result.metrics;
+
+        println!("== {} ({} stages, {} tasks, {:.1}s) ==", job.name, m.stages.len(), m.total_tasks, m.runtime_s);
+        let rows: Vec<Vec<String>> = m
+            .stages
+            .iter()
+            .map(|s| {
+                vec![
+                    s.name.clone(),
+                    s.tasks.to_string(),
+                    format!("{:.2}", s.duration_s),
+                    format!("{:.1}", s.cpu_s),
+                    format!("{:.1}", s.io_s),
+                    format!("{:.1}", s.net_s),
+                    format!("{:.1}", s.gc_s),
+                    format!("{:.1}", s.ser_s),
+                    if s.cache_hit_frac > 0.0 {
+                        format!("{:.0}%", 100.0 * s.cache_hit_frac)
+                    } else {
+                        "-".to_owned()
+                    },
+                ]
+            })
+            .collect();
+        print_table(
+            &["stage", "tasks", "wall(s)", "cpu(s)", "io(s)", "net(s)", "gc(s)", "ser(s)", "cache-hit"],
+            &rows,
+        );
+        println!();
+
+        summary.push(AnatomyRow {
+            workload: w.name().to_owned(),
+            stages: m.stages.len(),
+            tasks: m.total_tasks,
+            runtime_s: m.runtime_s,
+            cpu_frac: m.cpu_frac(),
+            io_frac: m.io_frac(),
+            net_frac: m.net_frac(),
+            gc_frac: m.gc_frac(),
+            ser_frac: m.ser_frac(),
+        });
+    }
+
+    println!("bottleneck profile per workload (fraction of task time):");
+    let rows: Vec<Vec<String>> = summary
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.0}%", 100.0 * r.cpu_frac),
+                format!("{:.0}%", 100.0 * r.io_frac),
+                format!("{:.0}%", 100.0 * r.net_frac),
+                format!("{:.0}%", 100.0 * r.gc_frac),
+                format!("{:.0}%", 100.0 * r.ser_frac),
+            ]
+        })
+        .collect();
+    print_table(&["workload", "cpu", "io", "net", "gc", "ser"], &rows);
+
+    write_json("exp_anatomy", &summary);
+}

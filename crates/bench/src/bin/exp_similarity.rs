@@ -1,0 +1,146 @@
+//! **E15 — §V-B challenge (i)**: "finding accurate ways to characterize
+//! workloads and define similarity across workloads".
+//!
+//! We run every workload under 12 different configurations, compute the
+//! signature of each run, and test whether the signature space actually
+//! separates workloads from one another:
+//!
+//! * *separability* — for each run, is its nearest neighbour (among all
+//!   other runs) a run of the same workload? (1-NN accuracy);
+//! * *cluster purity* — k-medoids with k = #workloads: fraction of runs
+//!   whose cluster is dominated by their own workload.
+//!
+//! Both must be high for history-based transfer (E8/E9) to donate from
+//! the right neighbours — and for "negative transfer" (§V-B) to be
+//! avoidable at all.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_similarity`
+
+use bench::{print_table, random_pool, write_json};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seamless_core::{SeamlessTuner, WorkloadSignature};
+use serde::Serialize;
+use simcluster::{ClusterSpec, Simulator, SparkEnv};
+use workloads::{all_workloads, DataScale};
+
+const CONFIGS_PER_WORKLOAD: usize = 12;
+
+#[derive(Debug, Serialize)]
+struct SimilarityResult {
+    one_nn_accuracy: f64,
+    cluster_purity: f64,
+    per_workload_accuracy: Vec<(String, f64)>,
+}
+
+fn main() {
+    println!(
+        "E15: does the workload signature separate workloads? ({CONFIGS_PER_WORKLOAD} configs each)\n"
+    );
+    let cluster = ClusterSpec::table1_testbed();
+    let space = confspace::spark::spark_space();
+    let sim = Simulator::dedicated();
+
+    // Configurations: the house default plus random ones that launch.
+    let mut labels: Vec<String> = Vec::new();
+    let mut sigs: Vec<WorkloadSignature> = Vec::new();
+    for w in all_workloads() {
+        let job = w.job(DataScale::Small);
+        let mut collected = 0;
+        let mut configs = vec![SeamlessTuner::house_default()];
+        configs.extend(random_pool(&space, CONFIGS_PER_WORKLOAD * 3, 0x11 + w.name().len() as u64));
+        for cfg in configs {
+            if collected >= CONFIGS_PER_WORKLOAD {
+                break;
+            }
+            let Ok(env) = SparkEnv::resolve(&cluster, &cfg) else {
+                continue;
+            };
+            let mut rng = StdRng::seed_from_u64(500 + collected as u64);
+            let Ok(result) = sim.run(&env, &job, &mut rng) else {
+                continue;
+            };
+            labels.push(w.name().to_owned());
+            sigs.push(WorkloadSignature::from_metrics(&result.metrics));
+            collected += 1;
+        }
+    }
+
+    // 1-NN accuracy.
+    let mut correct_per: std::collections::BTreeMap<String, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    let mut correct = 0usize;
+    for i in 0..sigs.len() {
+        let nn = (0..sigs.len())
+            .filter(|&j| j != i)
+            .min_by(|&a, &b| {
+                sigs[i]
+                    .distance(&sigs[a])
+                    .total_cmp(&sigs[i].distance(&sigs[b]))
+            })
+            .expect("more than one run");
+        let hit = labels[nn] == labels[i];
+        let entry = correct_per.entry(labels[i].clone()).or_insert((0, 0));
+        entry.1 += 1;
+        if hit {
+            entry.0 += 1;
+            correct += 1;
+        }
+    }
+    let one_nn = correct as f64 / sigs.len() as f64;
+
+    // k-medoids purity.
+    let points: Vec<Vec<f64>> = sigs.iter().map(|s| s.features().to_vec()).collect();
+    let k = all_workloads().len();
+    let mut rng = StdRng::seed_from_u64(77);
+    let clustering = models::k_medoids(&points, k, 20, &mut rng);
+    let mut pure = 0usize;
+    for c in 0..k {
+        let members = clustering.members(c);
+        if members.is_empty() {
+            continue;
+        }
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for &m in &members {
+            *counts.entry(labels[m].as_str()).or_default() += 1;
+        }
+        pure += counts.values().max().copied().unwrap_or(0);
+    }
+    let purity = pure as f64 / sigs.len() as f64;
+
+    let per: Vec<(String, f64)> = correct_per
+        .iter()
+        .map(|(w, (c, t))| (w.clone(), *c as f64 / *t as f64))
+        .collect();
+    print_table(
+        &["workload", "1-NN same-workload accuracy"],
+        &per
+            .iter()
+            .map(|(w, a)| vec![w.clone(), format!("{:.0}%", 100.0 * a)])
+            .collect::<Vec<_>>(),
+    );
+    println!("\noverall 1-NN accuracy: {:.0}%", 100.0 * one_nn);
+    println!("k-medoids cluster purity (k = {k}): {:.0}%", 100.0 * purity);
+
+    println!("\nshape checks:");
+    println!(
+        "  signatures separate workloads far above chance ({:.0}% vs ~{:.0}% chance): {}",
+        100.0 * one_nn,
+        100.0 / k as f64,
+        one_nn > 3.0 / k as f64
+    );
+    println!(
+        "  clusters are workload-dominated (purity {:.0}%): {}",
+        100.0 * purity,
+        purity > 0.5
+    );
+
+    write_json(
+        "exp_similarity",
+        &SimilarityResult {
+            one_nn_accuracy: one_nn,
+            cluster_purity: purity,
+            per_workload_accuracy: per,
+        },
+    );
+}

@@ -1,0 +1,182 @@
+//! **E1 — Table I**: potential execution-time saving of re-tuning the
+//! configuration over evolving input sizes.
+//!
+//! Methodology mirrors the paper: for each workload (Pagerank, Bayes,
+//! Wordcount) and each evolving input size (DS1, DS2, DS3), run 100
+//! random configurations on a 4 × h1.4xlarge cluster and take the best.
+//! The table reports the saving of re-tuning at DS2/DS3 relative to
+//! re-using DS1's best configuration:
+//!
+//! `saving = (t(DS_i, best(DS1)) − t(DS_i, best(DS_i))) / t(DS_i, best(DS1))`
+//!
+//! Two refinements keep the estimate out of the winner's-curse noise
+//! the paper's single draw is exposed to: the per-size best is selected
+//! in two passes (screen all 100 with 2 replicas, re-measure the top 10
+//! with 6), and the whole experiment is averaged over 3 independent
+//! random-configuration pools.
+//!
+//! Paper values: Pagerank 8%/56%, Bayes 17%/25%, Wordcount 0%/3%.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_table1`
+
+use bench::{eval_config, eval_pool, print_table, random_pool, seeds, write_json};
+use seamless_core::FAILURE_PENALTY_S;
+use confspace::spark::spark_space;
+use confspace::Configuration;
+use serde::Serialize;
+use simcluster::{ClusterSpec, InterferenceModel, JobSpec};
+use workloads::{table1_workloads, DataScale};
+
+const POOL_SEEDS: [u64; 3] = [0xF00D, 0xBEEF, 0xCAFE];
+
+#[derive(Debug, Serialize)]
+struct Table1Row {
+    workload: String,
+    saving_ds2_pct: f64,
+    saving_ds3_pct: f64,
+    paper_ds2_pct: f64,
+    paper_ds3_pct: f64,
+    per_pool_ds2: Vec<f64>,
+    per_pool_ds3: Vec<f64>,
+    /// Pools where re-using DS1's best configuration crashed outright
+    /// at the larger size (counted separately: the paper's testbed
+    /// never crashed, but "plausible but wrong" reuse can).
+    reuse_crashes_ds2: usize,
+    reuse_crashes_ds3: usize,
+}
+
+/// Two-pass best-of-pool: screen with 2 replicas, refine top-10 with 6.
+fn best_of_pool(
+    cluster: &ClusterSpec,
+    job: &JobSpec,
+    pool: &[Configuration],
+    base_seed: u64,
+) -> (Configuration, f64) {
+    let screen_seeds = seeds(base_seed, 2);
+    let mut screened: Vec<(f64, &Configuration)> =
+        eval_pool(cluster, job, pool, InterferenceModel::none(), &screen_seeds)
+            .iter()
+            .zip(pool)
+            .map(|(s, c)| (s.mean_runtime_s, c))
+            .collect();
+    screened.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let refine_seeds = seeds(base_seed + 1, 6);
+    screened
+        .into_iter()
+        .take(10)
+        .map(|(_, c)| {
+            (
+                c.clone(),
+                eval_config(cluster, job, c, InterferenceModel::none(), &refine_seeds)
+                    .mean_runtime_s,
+            )
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("pool is non-empty")
+}
+
+fn main() {
+    let cluster = ClusterSpec::table1_testbed();
+    let space = spark_space();
+    let paper = [(8.0, 56.0), (17.0, 25.0), (0.0, 3.0)];
+
+    println!("E1 / Table I: potential saving of re-tuning over evolving input sizes");
+    println!("(100 random configurations per workload+size, 4x h1.4xlarge,");
+    println!(" two-pass selection, averaged over {} pools)\n", POOL_SEEDS.len());
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (w, &(p2, p3)) in table1_workloads().iter().zip(&paper) {
+        let mut per_pool_ds2 = Vec::new();
+        let mut per_pool_ds3 = Vec::new();
+        let mut reuse_crashes = [0usize; 2];
+        for (pi, &pool_seed) in POOL_SEEDS.iter().enumerate() {
+            let pool = random_pool(&space, 100, pool_seed + w.name().len() as u64);
+            let eval_seed = 42 + 100 * pi as u64;
+
+            let mut best_per_size = Vec::new();
+            for scale in DataScale::evolving() {
+                let job = w.job(scale);
+                best_per_size.push(best_of_pool(&cluster, &job, &pool, eval_seed));
+            }
+            let (ds1_cfg, _) = &best_per_size[0];
+            let refine_seeds = seeds(eval_seed + 1, 6);
+            for (slot, (i, out)) in [(1usize, &mut per_pool_ds2), (2usize, &mut per_pool_ds3)]
+                .into_iter()
+                .enumerate()
+            {
+                let (_, own_best) = &best_per_size[i];
+                let job = w.job(DataScale::evolving()[i]);
+                let reused = eval_config(
+                    &cluster,
+                    &job,
+                    ds1_cfg,
+                    InterferenceModel::none(),
+                    &refine_seeds,
+                )
+                .mean_runtime_s;
+                if reused >= FAILURE_PENALTY_S {
+                    // Re-using the stale configuration crashed the job:
+                    // report separately rather than as a ~100% saving.
+                    reuse_crashes[slot] += 1;
+                } else {
+                    out.push((100.0 * (reused - own_best) / reused).max(0.0));
+                }
+            }
+        }
+
+        let s2 = models::stats::mean(&per_pool_ds2);
+        let s3 = models::stats::mean(&per_pool_ds3);
+        let crash_note = |n: usize| {
+            if n > 0 {
+                format!(" [+{n} crash]")
+            } else {
+                String::new()
+            }
+        };
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{s2:.0}% (paper {p2:.0}%){}", crash_note(reuse_crashes[0])),
+            format!("{s3:.0}% (paper {p3:.0}%){}", crash_note(reuse_crashes[1])),
+        ]);
+        json_rows.push(Table1Row {
+            workload: w.name().to_owned(),
+            saving_ds2_pct: s2,
+            saving_ds3_pct: s3,
+            paper_ds2_pct: p2,
+            paper_ds3_pct: p3,
+            per_pool_ds2,
+            per_pool_ds3,
+            reuse_crashes_ds2: reuse_crashes[0],
+            reuse_crashes_ds3: reuse_crashes[1],
+        });
+    }
+
+    print_table(
+        &["potential savings", "DS1_best - DS2_best", "DS1_best - DS3_best"],
+        &rows,
+    );
+
+    println!("\nshape checks:");
+    let pr = &json_rows[0];
+    let by = &json_rows[1];
+    let wc = &json_rows[2];
+    println!(
+        "  savings grow with input size for pagerank: {}",
+        pr.saving_ds3_pct > pr.saving_ds2_pct
+    );
+    println!(
+        "  pagerank DS3 saving >> wordcount DS3 saving: {}",
+        pr.saving_ds3_pct > wc.saving_ds3_pct + 20.0
+    );
+    println!(
+        "  wordcount savings are marginal (<10%): {}",
+        wc.saving_ds2_pct < 10.0 && wc.saving_ds3_pct < 10.0
+    );
+    println!(
+        "  bayes and pagerank both show substantial DS3 savings (>15%) while wordcount stays marginal: {}",
+        by.saving_ds3_pct > 15.0 && pr.saving_ds3_pct > 15.0 && wc.saving_ds3_pct < 10.0
+    );
+
+    write_json("exp_table1", &json_rows);
+}

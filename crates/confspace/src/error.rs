@@ -1,0 +1,47 @@
+//! Error types for configuration-space operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building or validating configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The named parameter does not exist in the space.
+    UnknownParam(String),
+    /// A value of the wrong kind was supplied for a parameter.
+    TypeMismatch {
+        /// Parameter name.
+        param: String,
+        /// Expected kind, e.g. `"int"`.
+        expected: &'static str,
+    },
+    /// A value falls outside the parameter's declared range/choices.
+    OutOfRange {
+        /// Parameter name.
+        param: String,
+        /// Human-readable rendering of the offending value.
+        value: String,
+    },
+    /// A cross-parameter constraint was violated.
+    ConstraintViolated(String),
+    /// The configuration is missing a parameter required by the space.
+    MissingParam(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownParam(p) => write!(f, "unknown parameter `{p}`"),
+            ConfigError::TypeMismatch { param, expected } => {
+                write!(f, "parameter `{param}` expects a {expected} value")
+            }
+            ConfigError::OutOfRange { param, value } => {
+                write!(f, "value {value} is out of range for parameter `{param}`")
+            }
+            ConfigError::ConstraintViolated(c) => write!(f, "constraint `{c}` violated"),
+            ConfigError::MissingParam(p) => write!(f, "missing required parameter `{p}`"),
+        }
+    }
+}
+
+impl Error for ConfigError {}

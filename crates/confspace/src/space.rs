@@ -1,0 +1,338 @@
+//! Parameter spaces: ordered parameter definitions plus constraints.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::config::Configuration;
+use crate::error::ConfigError;
+use crate::param::{ParamDef, ParamKind, ParamValue};
+
+type ConstraintFn = dyn Fn(&Configuration) -> bool + Send + Sync;
+
+/// A named cross-parameter constraint.
+///
+/// Constraints express relationships a single [`ParamDef`] cannot, e.g.
+/// "speculation quantile only matters when speculation is on" or
+/// "executors × cores must not exceed the cluster's virtual CPUs".
+#[derive(Clone)]
+pub struct Constraint {
+    name: String,
+    check: Arc<ConstraintFn>,
+}
+
+impl Constraint {
+    /// Creates a constraint from a name and a predicate.
+    pub fn new(
+        name: &str,
+        check: impl Fn(&Configuration) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Constraint {
+            name: name.to_owned(),
+            check: Arc::new(check),
+        }
+    }
+
+    /// The constraint's name (used in error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `cfg` satisfies the constraint.
+    pub fn holds(&self, cfg: &Configuration) -> bool {
+        (self.check)(cfg)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Constraint").field("name", &self.name).finish()
+    }
+}
+
+/// An ordered collection of parameter definitions with constraints.
+///
+/// The order of parameters is significant: it fixes the dimension order
+/// of the feature-vector encoding (see [`crate::encode`]).
+///
+/// # Example
+///
+/// ```
+/// use confspace::{ParamDef, ParamSpace};
+///
+/// let space = ParamSpace::new()
+///     .with(ParamDef::int("workers", 1, 16, 2, "executor count"))
+///     .with(ParamDef::boolean("compress", true, "shuffle compression"));
+/// let defaults = space.default_configuration();
+/// assert_eq!(defaults.int("workers"), 2);
+/// assert!(space.validate(&defaults).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+    index: HashMap<String, usize>,
+    constraints: Vec<Constraint>,
+}
+
+impl ParamSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a parameter definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter with the same name already exists.
+    pub fn add(&mut self, def: ParamDef) -> &mut Self {
+        assert!(
+            !self.index.contains_key(&def.name),
+            "duplicate parameter `{}`",
+            def.name
+        );
+        self.index.insert(def.name.clone(), self.params.len());
+        self.params.push(def);
+        self
+    }
+
+    /// Builder-style [`add`](Self::add).
+    #[must_use]
+    pub fn with(mut self, def: ParamDef) -> Self {
+        self.add(def);
+        self
+    }
+
+    /// Adds a cross-parameter constraint.
+    pub fn add_constraint(&mut self, c: Constraint) -> &mut Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Builder-style [`add_constraint`](Self::add_constraint).
+    #[must_use]
+    pub fn with_constraint(mut self, c: Constraint) -> Self {
+        self.add_constraint(c);
+        self
+    }
+
+    /// Number of parameters (also the encoded dimension count).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The parameter definitions, in encoding order.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// The constraints on the space.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Looks up a parameter definition by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDef> {
+        self.index.get(name).map(|&i| &self.params[i])
+    }
+
+    /// Index of a parameter in encoding order.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The configuration assigning every parameter its default value.
+    pub fn default_configuration(&self) -> Configuration {
+        self.params
+            .iter()
+            .map(|p| (p.name.clone(), p.default.clone()))
+            .collect()
+    }
+
+    /// Validates that `cfg` assigns an admissible value to every
+    /// parameter and satisfies all constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: [`ConfigError::MissingParam`],
+    /// a per-parameter range/type error, [`ConfigError::UnknownParam`]
+    /// for extraneous assignments, or
+    /// [`ConfigError::ConstraintViolated`].
+    pub fn validate(&self, cfg: &Configuration) -> Result<(), ConfigError> {
+        for p in &self.params {
+            match cfg.get(&p.name) {
+                None => return Err(ConfigError::MissingParam(p.name.clone())),
+                Some(v) => p.check(v)?,
+            }
+        }
+        for (name, _) in cfg.iter() {
+            if !self.index.contains_key(name) {
+                return Err(ConfigError::UnknownParam(name.to_owned()));
+            }
+        }
+        for c in &self.constraints {
+            if !c.holds(cfg) {
+                return Err(ConfigError::ConstraintViolated(c.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Clamps every out-of-range value in `cfg` to the nearest admissible
+    /// value, leaving valid values untouched. Unknown parameters are
+    /// dropped; missing ones are filled with defaults. Constraints are
+    /// *not* repaired (callers resample instead).
+    #[must_use]
+    pub fn clamp(&self, cfg: &Configuration) -> Configuration {
+        let mut out = Configuration::new();
+        for p in &self.params {
+            let v = match cfg.get(&p.name) {
+                None => p.default.clone(),
+                Some(v) => clamp_value(p, v),
+            };
+            out.set(&p.name, v);
+        }
+        out
+    }
+
+    /// Merges another space's parameters and constraints into this one.
+    /// Used to form the *joint* cloud + DISC space (§I of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate parameter names.
+    #[must_use]
+    pub fn union(mut self, other: &ParamSpace) -> ParamSpace {
+        for p in &other.params {
+            self.add(p.clone());
+        }
+        for c in &other.constraints {
+            self.add_constraint(c.clone());
+        }
+        self
+    }
+}
+
+fn clamp_value(p: &ParamDef, v: &ParamValue) -> ParamValue {
+    match (&p.kind, v) {
+        (ParamKind::Int { lo, hi, step }, ParamValue::Int(x)) => {
+            let x = (*x).clamp(*lo, *hi);
+            let snapped = lo + ((x - lo) / step) * step;
+            ParamValue::Int(snapped)
+        }
+        (ParamKind::Float { lo, hi, .. }, ParamValue::Float(x)) => {
+            if x.is_finite() {
+                ParamValue::Float(x.clamp(*lo, *hi))
+            } else {
+                p.default.clone()
+            }
+        }
+        (ParamKind::Bool, ParamValue::Bool(_)) => v.clone(),
+        (ParamKind::Categorical { choices }, ParamValue::Str(s)) => {
+            if choices.iter().any(|c| c == s) {
+                v.clone()
+            } else {
+                p.default.clone()
+            }
+        }
+        _ => p.default.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> ParamSpace {
+        ParamSpace::new()
+            .with(ParamDef::int("n", 1, 8, 2, "count"))
+            .with(ParamDef::float("f", 0.0, 1.0, 0.5, "fraction"))
+            .with(ParamDef::boolean("b", false, "switch"))
+            .with(ParamDef::categorical("c", &["x", "y"], "x", "choice"))
+    }
+
+    #[test]
+    fn default_configuration_is_valid() {
+        let s = small_space();
+        let cfg = s.default_configuration();
+        assert!(s.validate(&cfg).is_ok());
+        assert_eq!(cfg.len(), 4);
+    }
+
+    #[test]
+    fn validate_detects_missing_and_unknown() {
+        let s = small_space();
+        let mut cfg = s.default_configuration();
+        let partial = cfg.filtered(|k| k != "n");
+        assert!(matches!(
+            s.validate(&partial),
+            Err(ConfigError::MissingParam(p)) if p == "n"
+        ));
+        cfg.set("zzz", 1i64);
+        assert!(matches!(
+            s.validate(&cfg),
+            Err(ConfigError::UnknownParam(p)) if p == "zzz"
+        ));
+    }
+
+    #[test]
+    fn constraint_is_enforced() {
+        let s = small_space().with_constraint(Constraint::new("n<=4 when b", |c| {
+            !c.bool("b") || c.int("n") <= 4
+        }));
+        let cfg = s.default_configuration().with("b", true).with("n", 8i64);
+        assert!(matches!(
+            s.validate(&cfg),
+            Err(ConfigError::ConstraintViolated(_))
+        ));
+        let ok = s.default_configuration().with("b", true).with("n", 3i64);
+        assert!(s.validate(&ok).is_ok());
+    }
+
+    #[test]
+    fn clamp_snaps_to_range() {
+        let s = small_space();
+        let cfg = Configuration::new()
+            .with("n", 99i64)
+            .with("f", -3.0)
+            .with("b", true)
+            .with("c", "nope")
+            .with("junk", 1i64);
+        let fixed = s.clamp(&cfg);
+        assert!(s.validate(&fixed).is_ok());
+        assert_eq!(fixed.int("n"), 8);
+        assert_eq!(fixed.float("f"), 0.0);
+        assert_eq!(fixed.str("c"), "x");
+        assert!(!fixed.contains("junk"));
+    }
+
+    #[test]
+    fn clamp_respects_step() {
+        let s = ParamSpace::new().with(ParamDef::int_step("m", 0, 100, 25, 0, "stepped"));
+        let fixed = s.clamp(&Configuration::new().with("m", 60i64));
+        assert_eq!(fixed.int("m"), 50);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = ParamSpace::new().with(ParamDef::int("a", 0, 1, 0, ""));
+        let b = ParamSpace::new().with(ParamDef::int("b", 0, 1, 0, ""));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.index_of("a"), Some(0));
+        assert_eq!(u.index_of("b"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_param_panics() {
+        let _ = ParamSpace::new()
+            .with(ParamDef::int("a", 0, 1, 0, ""))
+            .with(ParamDef::int("a", 0, 1, 0, ""));
+    }
+}

@@ -1,0 +1,149 @@
+//! Workload characterization (§V-B): turning raw execution metrics into
+//! a compact signature that supports similarity search across tenants.
+//!
+//! The signature deliberately captures *what the workload does* —
+//! resource-time fractions, shuffle intensity, iteration structure —
+//! rather than *how it was configured*, so that runs of the same
+//! workload under different configurations land close together while
+//! workloads with different bottlenecks separate.
+
+use serde::{Deserialize, Serialize};
+
+use simcluster::ExecMetrics;
+
+/// A compact, configuration-insensitive workload signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSignature {
+    /// The feature vector (see [`WorkloadSignature::FEATURES`]).
+    features: Vec<f64>,
+}
+
+impl WorkloadSignature {
+    /// Names of the signature dimensions, in order.
+    pub const FEATURES: [&'static str; 8] = [
+        "cpu_frac",
+        "io_frac",
+        "net_frac",
+        "gc_frac",
+        "ser_frac",
+        "shuffle_per_input",
+        "log10_input_mb",
+        "log2_stages",
+    ];
+
+    /// Extracts a signature from one run's metrics.
+    pub fn from_metrics(m: &ExecMetrics) -> Self {
+        let shuffle_per_input = if m.input_mb > 0.0 {
+            (m.shuffle_mb / m.input_mb).min(10.0) / 10.0
+        } else {
+            0.0
+        };
+        WorkloadSignature {
+            features: vec![
+                m.cpu_frac(),
+                m.io_frac(),
+                m.net_frac(),
+                m.gc_frac(),
+                m.ser_frac(),
+                shuffle_per_input,
+                (m.input_mb.max(1.0).log10() / 7.0).min(1.0),
+                ((m.stages.len().max(1) as f64).log2() / 6.0).min(1.0),
+            ],
+        }
+    }
+
+    /// The raw feature vector.
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// Euclidean distance to another signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signatures of different versions (lengths).
+    pub fn distance(&self, other: &WorkloadSignature) -> f64 {
+        models::stats::dist(&self.features, &other.features)
+    }
+
+    /// Similarity in `(0, 1]`: `1 / (1 + distance)`.
+    pub fn similarity(&self, other: &WorkloadSignature) -> f64 {
+        1.0 / (1.0 + self.distance(other))
+    }
+
+    /// Whether the signatures describe workloads of the same size
+    /// regime (used by re-tune detection to distinguish input growth
+    /// from environment drift).
+    pub fn same_size_regime(&self, other: &WorkloadSignature) -> bool {
+        (self.features[6] - other.features[6]).abs() < 0.04
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confspace::spark::names as sp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simcluster::{ClusterSpec, Simulator, SparkEnv};
+    use workloads::{DataScale, KMeans, Terasort, Wordcount, Workload};
+
+    fn run(workload: &dyn Workload, scale: DataScale, cfg_tweak: i64) -> ExecMetrics {
+        let cluster = ClusterSpec::table1_testbed();
+        let cfg = confspace::spark::spark_space()
+            .default_configuration()
+            .with(sp::EXECUTOR_INSTANCES, 8i64)
+            .with(sp::EXECUTOR_CORES, 2i64)
+            .with(sp::EXECUTOR_MEMORY_MB, 4096 + cfg_tweak * 2048)
+            .with(sp::DEFAULT_PARALLELISM, 32 + cfg_tweak * 32);
+        let env = SparkEnv::resolve(&cluster, &cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(7 + cfg_tweak as u64);
+        Simulator::dedicated()
+            .run(&env, &workload.job(scale), &mut rng)
+            .unwrap()
+            .metrics
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let m = run(&Wordcount::new(), DataScale::Tiny, 0);
+        let sig = WorkloadSignature::from_metrics(&m);
+        assert_eq!(sig.features().len(), WorkloadSignature::FEATURES.len());
+        assert!(sig.features().iter().all(|f| (0.0..=1.0).contains(f)));
+    }
+
+    #[test]
+    fn same_workload_different_config_is_closer_than_different_workload() {
+        let wc_a = WorkloadSignature::from_metrics(&run(&Wordcount::new(), DataScale::Small, 0));
+        let wc_b = WorkloadSignature::from_metrics(&run(&Wordcount::new(), DataScale::Small, 1));
+        let km = WorkloadSignature::from_metrics(&run(&KMeans::new(), DataScale::Small, 0));
+        assert!(
+            wc_a.distance(&wc_b) < wc_a.distance(&km),
+            "wc-wc {} !< wc-km {}",
+            wc_a.distance(&wc_b),
+            wc_a.distance(&km)
+        );
+    }
+
+    #[test]
+    fn shuffle_heavy_and_scan_heavy_separate() {
+        let wc = WorkloadSignature::from_metrics(&run(&Wordcount::new(), DataScale::Small, 0));
+        let ts = WorkloadSignature::from_metrics(&run(&Terasort::new(), DataScale::Small, 0));
+        assert!(wc.distance(&ts) > 0.05);
+    }
+
+    #[test]
+    fn similarity_is_one_for_identical() {
+        let m = run(&Wordcount::new(), DataScale::Tiny, 0);
+        let s = WorkloadSignature::from_metrics(&m);
+        assert_eq!(s.similarity(&s), 1.0);
+    }
+
+    #[test]
+    fn size_regime_distinguishes_scales() {
+        let small = WorkloadSignature::from_metrics(&run(&Wordcount::new(), DataScale::Tiny, 0));
+        let big = WorkloadSignature::from_metrics(&run(&Wordcount::new(), DataScale::Ds2, 0));
+        assert!(small.same_size_regime(&small));
+        assert!(!small.same_size_regime(&big));
+    }
+}

@@ -1,0 +1,327 @@
+//! The provider-side multi-tenant execution-history store.
+//!
+//! §IV-C: "The cloud is a centralized place that is able to keep a
+//! record of the different workloads' execution history under different
+//! cloud and DISC system configurations, across users. This data can
+//! only be leveraged by the cloud provider." This module is that
+//! record: a concurrent, append-only store of execution records with
+//! signature-based similarity queries.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use confspace::Configuration;
+
+use crate::characterize::WorkloadSignature;
+
+/// One execution record as the provider sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionRecord {
+    /// Opaque tenant identifier.
+    pub client: String,
+    /// Opaque workload label (the provider does not know the "name" of
+    /// a tenant's job; this stands in for a stable job identity such as
+    /// a jar hash — used only for bookkeeping, never for similarity).
+    pub workload: String,
+    /// Characterization signature of the run.
+    pub signature: WorkloadSignature,
+    /// The configuration used (cloud and/or DISC parameters).
+    pub config: Configuration,
+    /// Observed runtime (s).
+    pub runtime_s: f64,
+    /// Dollar cost of the run.
+    pub cost_usd: f64,
+    /// Monotonic record sequence number (assigned by the store).
+    pub seq: u64,
+}
+
+/// A concurrent multi-tenant history store.
+#[derive(Debug, Default)]
+pub struct HistoryStore {
+    records: RwLock<Vec<ExecutionRecord>>,
+}
+
+impl HistoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, assigning its sequence number.
+    pub fn insert(&self, mut record: ExecutionRecord) -> u64 {
+        let mut records = self.records.write();
+        let seq = records.len() as u64;
+        record.seq = seq;
+        records.push(record);
+        seq
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// All records (cloned snapshot).
+    pub fn snapshot(&self) -> Vec<ExecutionRecord> {
+        self.records.read().clone()
+    }
+
+    /// The `k` records most similar to `query` (by signature distance),
+    /// optionally excluding one tenant (so a client's own runs don't
+    /// masquerade as transfer).
+    pub fn most_similar(
+        &self,
+        query: &WorkloadSignature,
+        k: usize,
+        exclude_client: Option<&str>,
+    ) -> Vec<ExecutionRecord> {
+        let records = self.records.read();
+        let mut scored: Vec<(f64, &ExecutionRecord)> = records
+            .iter()
+            .filter(|r| exclude_client.is_none_or(|c| r.client != c))
+            .map(|r| (query.distance(&r.signature), r))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.into_iter().take(k).map(|(_, r)| r.clone()).collect()
+    }
+
+    /// The best (fastest) recorded configuration among the `k` most
+    /// similar records — the provider's "best configuration found for a
+    /// similar workload" (§V-C).
+    pub fn best_similar_config(
+        &self,
+        query: &WorkloadSignature,
+        k: usize,
+        exclude_client: Option<&str>,
+    ) -> Option<ExecutionRecord> {
+        self.most_similar(query, k, exclude_client)
+            .into_iter()
+            .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+    }
+
+    /// Best known runtime among similar records — the reference point
+    /// for "within X% of the runtime of similar workloads ever run in
+    /// the cloud" (§IV-D).
+    pub fn best_similar_runtime(
+        &self,
+        query: &WorkloadSignature,
+        k: usize,
+    ) -> Option<f64> {
+        self.most_similar(query, k, None)
+            .into_iter()
+            .map(|r| r.runtime_s)
+            .min_by(f64::total_cmp)
+    }
+
+    /// All records for one tenant's workload label, in sequence order.
+    pub fn for_workload(&self, client: &str, workload: &str) -> Vec<ExecutionRecord> {
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.client == client && r.workload == workload)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::{ExecMetrics, StageMetrics};
+
+    fn sig(cpu: f64, io: f64) -> WorkloadSignature {
+        let m = ExecMetrics {
+            runtime_s: 100.0,
+            stages: vec![StageMetrics {
+                name: "s".into(),
+                cpu_s: cpu,
+                io_s: io,
+                ..Default::default()
+            }],
+            input_mb: 1000.0,
+            shuffle_mb: 100.0,
+            ..Default::default()
+        };
+        WorkloadSignature::from_metrics(&m)
+    }
+
+    fn record(client: &str, cpu: f64, runtime: f64) -> ExecutionRecord {
+        ExecutionRecord {
+            client: client.to_owned(),
+            workload: "job".to_owned(),
+            signature: sig(cpu, 100.0 - cpu),
+            config: Configuration::new().with("p", 1i64),
+            runtime_s: runtime,
+            cost_usd: 1.0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn insert_assigns_sequence_numbers() {
+        let store = HistoryStore::new();
+        assert_eq!(store.insert(record("a", 50.0, 10.0)), 0);
+        assert_eq!(store.insert(record("a", 50.0, 11.0)), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn most_similar_ranks_by_signature_distance() {
+        let store = HistoryStore::new();
+        store.insert(record("a", 90.0, 10.0)); // cpu-heavy
+        store.insert(record("b", 10.0, 10.0)); // io-heavy
+        let near_cpu = store.most_similar(&sig(85.0, 15.0), 1, None);
+        assert_eq!(near_cpu.len(), 1);
+        assert_eq!(near_cpu[0].client, "a");
+    }
+
+    #[test]
+    fn exclusion_filters_a_tenant() {
+        let store = HistoryStore::new();
+        store.insert(record("a", 90.0, 10.0));
+        store.insert(record("b", 89.0, 20.0));
+        let r = store.most_similar(&sig(90.0, 10.0), 5, Some("a"));
+        assert!(r.iter().all(|x| x.client == "b"));
+    }
+
+    #[test]
+    fn best_similar_config_minimizes_runtime() {
+        let store = HistoryStore::new();
+        store.insert(record("a", 90.0, 30.0));
+        store.insert(record("b", 88.0, 12.0));
+        store.insert(record("c", 87.0, 25.0));
+        let best = store.best_similar_config(&sig(89.0, 11.0), 3, None).unwrap();
+        assert_eq!(best.runtime_s, 12.0);
+        assert_eq!(store.best_similar_runtime(&sig(89.0, 11.0), 3), Some(12.0));
+    }
+
+    #[test]
+    fn for_workload_scopes_by_client_and_label() {
+        let store = HistoryStore::new();
+        store.insert(record("a", 50.0, 10.0));
+        let mut other = record("a", 50.0, 10.0);
+        other.workload = "other".to_owned();
+        store.insert(other);
+        store.insert(record("b", 50.0, 10.0));
+        assert_eq!(store.for_workload("a", "job").len(), 1);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let store = Arc::new(HistoryStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    s.insert(record(&format!("t{t}"), 50.0, i as f64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 100);
+    }
+}
+
+/// JSON-lines persistence: the provider's execution history must
+/// outlive any single process (§IV-C: "a centralized place that is
+/// able to keep a record … across users").
+impl HistoryStore {
+    /// Serializes every record as one JSON object per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns any serialization error (I/O is the caller's: write the
+    /// returned string wherever the deployment keeps state).
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let records = self.records.read();
+        let mut out = String::new();
+        for r in records.iter() {
+            out.push_str(&serde_json::to_string(r)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a store from [`HistoryStore::to_jsonl`] output.
+    /// Sequence numbers are reassigned in line order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line's parse error.
+    pub fn from_jsonl(data: &str) -> Result<Self, serde_json::Error> {
+        let store = HistoryStore::new();
+        for line in data.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: ExecutionRecord = serde_json::from_str(line)?;
+            store.insert(record);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::characterize::WorkloadSignature;
+    use simcluster::ExecMetrics;
+
+    fn record(i: usize) -> ExecutionRecord {
+        ExecutionRecord {
+            client: format!("c{i}"),
+            workload: "job".to_owned(),
+            signature: WorkloadSignature::from_metrics(&ExecMetrics {
+                runtime_s: 10.0 + i as f64,
+                input_mb: 100.0,
+                ..Default::default()
+            }),
+            config: Configuration::new().with("p", i as i64),
+            runtime_s: 10.0 + i as f64,
+            cost_usd: 0.5,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_records() {
+        let store = HistoryStore::new();
+        for i in 0..5 {
+            store.insert(record(i));
+        }
+        let dump = store.to_jsonl().expect("serializes");
+        assert_eq!(dump.lines().count(), 5);
+        let restored = HistoryStore::from_jsonl(&dump).expect("parses");
+        assert_eq!(restored.len(), 5);
+        assert_eq!(restored.snapshot()[3].client, "c3");
+        assert_eq!(restored.snapshot()[3].seq, 3);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_and_garbage_rejected() {
+        let store = HistoryStore::from_jsonl("\n\n").expect("empty ok");
+        assert!(store.is_empty());
+        assert!(HistoryStore::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn restored_store_answers_similarity_queries() {
+        let store = HistoryStore::new();
+        for i in 0..4 {
+            store.insert(record(i));
+        }
+        let dump = store.to_jsonl().expect("serializes");
+        let restored = HistoryStore::from_jsonl(&dump).expect("parses");
+        let q = record(0).signature;
+        assert_eq!(restored.most_similar(&q, 2, None).len(), 2);
+    }
+}

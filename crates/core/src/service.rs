@@ -1,0 +1,458 @@
+//! The seamless tuning service: Fig. 1's two-stage pipeline plus
+//! managed execution with automatic re-tuning.
+//!
+//! [`SeamlessTuner`] is what the paper argues the *cloud provider*
+//! should operate (§IV): given a submitted job it (1) characterizes the
+//! workload with one probe run, (2) tunes the cloud layer (instance
+//! family/size/count), (3) tunes the DISC layer on the chosen cluster —
+//! warm-started from similar tenants' history (§V-B) — and records
+//! every execution in the provider-side history store. [`ManagedWorkload`]
+//! then runs the tuned workload on behalf of the tenant, watching for
+//! drift and re-tuning automatically (§V-D).
+
+use std::sync::Arc;
+
+use confspace::spark::names as sp;
+use confspace::Configuration;
+use serde::{Deserialize, Serialize};
+
+use simcluster::{ClusterSpec, JobSpec};
+
+use crate::characterize::WorkloadSignature;
+use crate::history::{ExecutionRecord, HistoryStore};
+use crate::objective::{CloudObjective, DiscObjective, Objective, Observation, SimEnvironment};
+use crate::retune::{RetuneMonitor, RetunePolicy, RetuneReason};
+use crate::slo::AmortizationLedger;
+use crate::transfer::{donated_observations, TransferTuner};
+use crate::tuner::{TunerKind, TuningOutcome, TuningSession};
+
+/// Service-level tuning settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Strategy used in both stages.
+    pub tuner: TunerKind,
+    /// Evaluation budget for stage 1 (cloud configuration).
+    pub stage1_budget: usize,
+    /// Evaluation budget for stage 2 (DISC configuration).
+    pub stage2_budget: usize,
+    /// Donated observations pulled from similar tenants (0 disables
+    /// transfer). Keep small: a handful of high-quality donations adds
+    /// a strong incumbent probe without suppressing the strategy's own
+    /// exploration — large donations are where negative transfer
+    /// (§V-B) creeps in.
+    pub transfer_k: usize,
+    /// Use AROMA-style k-medoids clusters of the history for donor
+    /// selection instead of flat nearest-neighbour search (§II-B);
+    /// falls back to flat search while the history is small.
+    pub clustered_donors: bool,
+    /// Re-tuning trigger for managed execution.
+    pub retune_policy: RetunePolicy,
+    /// Budget for each automatic re-tuning session.
+    pub retune_budget: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            tuner: TunerKind::BayesOpt,
+            stage1_budget: 10,
+            stage2_budget: 20,
+            transfer_k: 3,
+            clustered_donors: false,
+            retune_policy: RetunePolicy::PageHinkley,
+            retune_budget: 10,
+        }
+    }
+}
+
+/// The outcome of one end-to-end service tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Chosen cloud configuration (stage 1).
+    pub cloud_config: Configuration,
+    /// The provisioned cluster it denotes.
+    pub cluster: ClusterSpec,
+    /// Chosen DISC configuration (stage 2).
+    pub disc_config: Configuration,
+    /// Best observed runtime under the final configuration (s).
+    pub best_runtime_s: f64,
+    /// Stage-1 tuning trace.
+    pub stage1: TuningOutcome,
+    /// Stage-2 tuning trace.
+    pub stage2: TuningOutcome,
+    /// Whether cross-tenant transfer seeded stage 2.
+    pub used_transfer: bool,
+    /// The workload's signature from the probe run.
+    pub signature: WorkloadSignature,
+}
+
+impl ServiceOutcome {
+    /// Total dollars spent tuning (both stages).
+    pub fn tuning_cost_usd(&self) -> f64 {
+        self.stage1.total_cost_usd() + self.stage2.total_cost_usd()
+    }
+
+    /// Builds the §IV-C amortization ledger against a baseline run cost.
+    pub fn ledger(&self, baseline_run_cost_usd: f64) -> AmortizationLedger {
+        let tuned_run_cost = self
+            .stage2
+            .best
+            .as_ref()
+            .map_or(baseline_run_cost_usd, |o| o.cost_usd);
+        AmortizationLedger {
+            tuning_cost_usd: self.tuning_cost_usd(),
+            baseline_run_cost_usd,
+            tuned_run_cost_usd: tuned_run_cost,
+        }
+    }
+}
+
+/// The provider-operated tuning service.
+pub struct SeamlessTuner {
+    store: Arc<HistoryStore>,
+    env: SimEnvironment,
+    config: ServiceConfig,
+}
+
+impl SeamlessTuner {
+    /// Creates the service around a shared history store.
+    pub fn new(store: Arc<HistoryStore>, env: SimEnvironment, config: ServiceConfig) -> Self {
+        SeamlessTuner { store, env, config }
+    }
+
+    /// The provider's conservative "house default" DISC configuration —
+    /// what the probe run and stage 1 execute with. Unlike Spark's
+    /// shipped defaults (which crash memory-hungry workloads), a
+    /// provider would deploy a layout sized to the cluster.
+    pub fn house_default() -> Configuration {
+        confspace::spark::spark_space()
+            .default_configuration()
+            .with(sp::EXECUTOR_INSTANCES, 8i64)
+            .with(sp::EXECUTOR_CORES, 2i64)
+            .with(sp::EXECUTOR_MEMORY_MB, 6144i64)
+            .with(sp::DEFAULT_PARALLELISM, 64i64)
+            .with(sp::SHUFFLE_PARTITIONS, 64i64)
+    }
+
+    /// Shared access to the history store.
+    pub fn store(&self) -> &Arc<HistoryStore> {
+        &self.store
+    }
+
+    /// End-to-end tuning of `job` for tenant `client` (Fig. 1).
+    pub fn tune(&self, client: &str, workload: &str, job: &JobSpec, seed: u64) -> ServiceOutcome {
+        // --- Probe: one run on the house defaults to characterize. ---
+        let probe_cluster = ClusterSpec::table1_testbed();
+        let mut probe_obj = DiscObjective::new(
+            probe_cluster,
+            job.clone(),
+            &SimEnvironment {
+                seed: self.env.seed ^ seed ^ 0x9e37,
+                ..self.env.clone()
+            },
+        );
+        let probe = probe_obj.evaluate(&Self::house_default());
+        let signature = probe
+            .metrics
+            .as_ref()
+            .map(WorkloadSignature::from_metrics)
+            .unwrap_or_else(|| WorkloadSignature::from_metrics(&Default::default()));
+
+        // --- Stage 1: cloud configuration. ---
+        let mut cloud_obj = CloudObjective::new(
+            job.clone(),
+            Self::house_default(),
+            &SimEnvironment {
+                seed: self.env.seed ^ seed ^ 0x51,
+                ..self.env.clone()
+            },
+        );
+        let mut stage1 = TuningSession::new(self.config.tuner, self.env.seed ^ seed ^ 0xA1);
+        let s1 = stage1.run(&mut cloud_obj, self.config.stage1_budget);
+        let cloud_config = s1
+            .best_config()
+            .cloned()
+            .unwrap_or_else(|| confspace::cloud::cloud_space().default_configuration());
+        let cluster = ClusterSpec::from_config(&cloud_config)
+            .unwrap_or_else(|_| ClusterSpec::table1_testbed());
+
+        // --- Stage 2: DISC configuration on the chosen cluster, ---
+        // --- warm-started from similar tenants.                 ---
+        let disc_space = confspace::spark::spark_space();
+        let raw_donations: Vec<Observation> = if self.config.transfer_k == 0 {
+            Vec::new()
+        } else if self.config.clustered_donors && self.store.len() >= 12 {
+            // AROMA-style: donate from the signature's k-medoids cluster.
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.env.seed ^ seed ^ 0xC1);
+            let clusters =
+                crate::transfer::ClusteredHistory::build(&self.store, 3, &mut rng);
+            crate::transfer::records_to_observations(
+                clusters.donors_for(&signature, self.config.transfer_k * 2),
+            )
+        } else {
+            donated_observations(
+                &self.store,
+                &signature,
+                self.config.transfer_k * 2,
+                Some(client),
+                probe.runtime_s,
+            )
+        };
+        let donated: Vec<Observation> = raw_donations
+            .into_iter()
+            // The provider's history mixes cloud-layer and DISC-layer
+            // records; only DISC configurations transfer into stage 2.
+            .filter(|o| disc_space.validate(&o.config).is_ok())
+            .take(self.config.transfer_k)
+            .collect();
+        let used_transfer = !donated.is_empty();
+        let mut disc_obj = DiscObjective::new(
+            cluster.clone(),
+            job.clone(),
+            &SimEnvironment {
+                seed: self.env.seed ^ seed ^ 0x52,
+                ..self.env.clone()
+            },
+        );
+        let mut stage2 = if used_transfer {
+            TuningSession::with_tuner(
+                Box::new(TransferTuner::new(self.config.tuner.build(), donated)),
+                self.env.seed ^ seed ^ 0xB2,
+            )
+        } else {
+            TuningSession::new(self.config.tuner, seed ^ 0xB2)
+        };
+        let mut s2 = stage2.run(&mut disc_obj, self.config.stage2_budget.saturating_sub(1));
+        // The provider's house default is always a candidate: the
+        // service never deploys a configuration worse than its own
+        // baseline (one evaluation charged to the stage-2 budget).
+        let incumbent = disc_obj.evaluate(&Self::house_default());
+        s2.history.push(incumbent);
+        s2.best = crate::tuner::best_observation(&s2.history).cloned();
+        let disc_config = s2
+            .best_config()
+            .cloned()
+            .unwrap_or_else(Self::house_default);
+
+        // --- Record everything the provider witnessed. ---
+        self.record(client, workload, &probe);
+        for o in s1.history.iter().chain(s2.history.iter()) {
+            self.record(client, workload, o);
+        }
+
+        ServiceOutcome {
+            cloud_config,
+            cluster,
+            disc_config,
+            best_runtime_s: s2.best_runtime_s(),
+            stage1: s1,
+            stage2: s2,
+            used_transfer,
+            signature,
+        }
+    }
+
+    fn record(&self, client: &str, workload: &str, obs: &Observation) {
+        let Some(metrics) = &obs.metrics else {
+            return; // crashed runs carry no characterization signal
+        };
+        self.store.insert(ExecutionRecord {
+            client: client.to_owned(),
+            workload: workload.to_owned(),
+            signature: WorkloadSignature::from_metrics(metrics),
+            config: obs.config.clone(),
+            runtime_s: obs.runtime_s,
+            cost_usd: obs.cost_usd,
+            seq: 0,
+        });
+    }
+}
+
+/// A workload under managed execution: the provider runs it with the
+/// tuned configuration, watches for drift, and re-tunes automatically.
+pub struct ManagedWorkload {
+    objective: DiscObjective,
+    config: Configuration,
+    monitor: RetuneMonitor,
+    service: ServiceConfig,
+    seed: u64,
+    /// Completed automatic re-tunings (reason, at-run-index).
+    pub retunings: Vec<(RetuneReason, usize)>,
+    runs: usize,
+}
+
+impl ManagedWorkload {
+    /// Starts managed execution of `job` on `cluster` with `config`.
+    pub fn new(
+        cluster: ClusterSpec,
+        job: JobSpec,
+        config: Configuration,
+        service: ServiceConfig,
+        env: &SimEnvironment,
+        seed: u64,
+    ) -> Self {
+        ManagedWorkload {
+            objective: DiscObjective::new(cluster, job, env),
+            config,
+            monitor: RetuneMonitor::new(service.retune_policy),
+            service,
+            seed,
+            retunings: Vec::new(),
+            runs: 0,
+        }
+    }
+
+    /// Updates the job (e.g. the tenant's input grew).
+    pub fn set_job(&mut self, job: JobSpec) {
+        self.objective.set_job(job);
+    }
+
+    /// The currently-deployed configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Executes one production run; re-tunes first when the monitor
+    /// fired on the *previous* run. Returns the production observation
+    /// and the number of tuning executions spent before it (0 normally).
+    pub fn run_once(&mut self) -> (Observation, usize) {
+        self.runs += 1;
+        let obs = self.objective.evaluate(&self.config);
+        let mut tuning_spent = 0;
+        if let Some(reason) = self.monitor.observe(&obs) {
+            self.retunings.push((reason, self.runs));
+            let mut session = TuningSession::new(
+                self.service.tuner,
+                self.seed ^ (self.runs as u64) << 8,
+            );
+            let outcome = session.run(&mut self.objective, self.service.retune_budget);
+            tuning_spent = outcome.history.len();
+            if let Some(best) = outcome.best_config() {
+                // Only adopt the re-tuned configuration if it beats the
+                // incumbent's latest observation.
+                if outcome.best_runtime_s() < obs.runtime_s {
+                    self.config = best.clone();
+                }
+            }
+            self.monitor.reset();
+        }
+        (obs, tuning_spent)
+    }
+
+    /// Total production runs so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{DataScale, Pagerank, Wordcount, Workload};
+
+    fn service() -> SeamlessTuner {
+        SeamlessTuner::new(
+            Arc::new(HistoryStore::new()),
+            SimEnvironment::dedicated(11),
+            ServiceConfig {
+                stage1_budget: 4,
+                stage2_budget: 6,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_tuning_produces_a_working_config() {
+        let svc = service();
+        let job = Wordcount::new().job(DataScale::Tiny);
+        let out = svc.tune("alice", "wc", &job, 1);
+        assert!(out.best_runtime_s.is_finite());
+        assert!(out.best_runtime_s > 0.0);
+        assert_eq!(out.stage1.history.len(), 4);
+        assert_eq!(out.stage2.history.len(), 6);
+        assert!(svc.store().len() > 0, "provider recorded the executions");
+    }
+
+    #[test]
+    fn second_tenant_benefits_from_transfer() {
+        let svc = service();
+        let job = Wordcount::new().job(DataScale::Tiny);
+        let first = svc.tune("alice", "wc", &job, 1);
+        assert!(!first.used_transfer, "empty store: no donors");
+        let second = svc.tune("bob", "wc2", &job, 2);
+        assert!(second.used_transfer, "alice's runs should donate");
+    }
+
+    #[test]
+    fn tuned_beats_house_default_on_pagerank() {
+        let svc = SeamlessTuner::new(
+            Arc::new(HistoryStore::new()),
+            SimEnvironment::dedicated(13),
+            ServiceConfig {
+                stage1_budget: 6,
+                stage2_budget: 15,
+                ..ServiceConfig::default()
+            },
+        );
+        let job = Pagerank::new().job(DataScale::Tiny);
+        let out = svc.tune("carol", "pr", &job, 3);
+        // Compare to the house default on the *same* cluster.
+        let mut base_obj = DiscObjective::new(
+            out.cluster.clone(),
+            job,
+            &SimEnvironment::dedicated(99),
+        );
+        let base = base_obj.evaluate(&SeamlessTuner::house_default());
+        assert!(
+            out.best_runtime_s <= base.runtime_s * 1.1,
+            "tuned {} vs default {}",
+            out.best_runtime_s,
+            base.runtime_s
+        );
+    }
+
+    #[test]
+    fn managed_workload_retunes_on_input_growth() {
+        let cfg = ServiceConfig {
+            retune_budget: 5,
+            ..ServiceConfig::default()
+        };
+        let mut managed = ManagedWorkload::new(
+            ClusterSpec::table1_testbed(),
+            Pagerank::new().job(DataScale::Tiny),
+            SeamlessTuner::house_default(),
+            cfg,
+            &SimEnvironment::dedicated(17),
+            5,
+        );
+        for _ in 0..6 {
+            let (obs, spent) = managed.run_once();
+            assert!(obs.is_ok());
+            assert_eq!(spent, 0, "no drift yet");
+        }
+        // The tenant's data grows 16x: the monitor must notice.
+        managed.set_job(Pagerank::new().job(DataScale::Ds1));
+        let mut retuned = false;
+        for _ in 0..8 {
+            let (_, spent) = managed.run_once();
+            if spent > 0 {
+                retuned = true;
+                break;
+            }
+        }
+        assert!(retuned, "managed execution should re-tune after input growth");
+        assert!(!managed.retunings.is_empty());
+    }
+
+    #[test]
+    fn ledger_reflects_tuning_spend() {
+        let svc = service();
+        let job = Wordcount::new().job(DataScale::Tiny);
+        let out = svc.tune("dave", "wc", &job, 7);
+        let ledger = out.ledger(1.0);
+        assert!(ledger.tuning_cost_usd > 0.0);
+        assert_eq!(ledger.baseline_run_cost_usd, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Tuning-effectiveness metrics and cost accounting.
+//!
+//! §IV-D proposes SLOs of the form "jobs run within X% of the optimal
+//! runtime" (with "optimal" approximated by the best runtime of similar
+//! workloads ever seen); §V-C enumerates candidate effectiveness
+//! metrics; §IV-C demands that tuning cost not outweigh the runtime
+//! savings before re-tuning is needed. This module implements all
+//! three.
+
+use serde::{Deserialize, Serialize};
+
+/// Effectiveness metrics for one tuned workload (§V-C's candidate
+/// metric menu, computed side by side).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// The tuned configuration's runtime (s).
+    pub tuned_runtime_s: f64,
+    /// Best-known runtime for this workload (the session's optimum
+    /// proxy), if any.
+    pub optimal_runtime_s: Option<f64>,
+    /// Best runtime of *similar* workloads in the provider's history.
+    pub best_similar_runtime_s: Option<f64>,
+    /// Runtime under the default configuration, if measured.
+    pub default_runtime_s: Option<f64>,
+}
+
+impl SloReport {
+    /// Distance from optimal as a fraction: `runtime/optimal − 1`
+    /// (0 = optimal). `None` when no optimum proxy is known.
+    pub fn distance_from_optimal(&self) -> Option<f64> {
+        self.optimal_runtime_s
+            .map(|opt| self.tuned_runtime_s / opt.max(1e-9) - 1.0)
+    }
+
+    /// Whether the tuned runtime is within `x` (e.g. 0.10) of optimal —
+    /// the §IV-D SLO predicate.
+    pub fn within_of_optimal(&self, x: f64) -> Option<bool> {
+        self.distance_from_optimal().map(|d| d <= x)
+    }
+
+    /// Same predicate against the best similar workload's runtime —
+    /// the paper's fallback when the true optimum is unknowable.
+    pub fn within_of_best_similar(&self, x: f64) -> Option<bool> {
+        self.best_similar_runtime_s
+            .map(|b| self.tuned_runtime_s <= b.max(1e-9) * (1.0 + x))
+    }
+
+    /// Improvement factor over the default configuration (≥ 1 when
+    /// tuning helped), e.g. DAC's 30–89×.
+    pub fn improvement_over_default(&self) -> Option<f64> {
+        self.default_runtime_s
+            .map(|d| d / self.tuned_runtime_s.max(1e-9))
+    }
+}
+
+/// The §IV-C amortization ledger: does the cost sunk into tuning pay
+/// for itself before re-tuning is needed?
+///
+/// # Example
+///
+/// ```
+/// use seamless_core::AmortizationLedger;
+///
+/// let ledger = AmortizationLedger {
+///     tuning_cost_usd: 10.0,
+///     baseline_run_cost_usd: 1.0,
+///     tuned_run_cost_usd: 0.5,
+/// };
+/// assert_eq!(ledger.runs_to_break_even(), Some(20.0));
+/// assert!(ledger.amortizes_within(90.0)); // the paper's 3-month lifetime
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AmortizationLedger {
+    /// Dollars spent on tuning executions.
+    pub tuning_cost_usd: f64,
+    /// Cost per production run under the baseline configuration.
+    pub baseline_run_cost_usd: f64,
+    /// Cost per production run under the tuned configuration.
+    pub tuned_run_cost_usd: f64,
+}
+
+impl AmortizationLedger {
+    /// Dollars saved per production run.
+    pub fn saving_per_run_usd(&self) -> f64 {
+        self.baseline_run_cost_usd - self.tuned_run_cost_usd
+    }
+
+    /// Number of production runs needed to recoup the tuning spend;
+    /// `None` when the tuned configuration saves nothing (tuning never
+    /// pays off — the paper's "tuning makes no sense" regime).
+    pub fn runs_to_break_even(&self) -> Option<f64> {
+        let saving = self.saving_per_run_usd();
+        if saving <= 0.0 {
+            None
+        } else {
+            Some(self.tuning_cost_usd / saving)
+        }
+    }
+
+    /// Whether the tuning investment amortizes within `runs` production
+    /// executions (e.g. the paper's 90 runs / 3 months exemplar).
+    pub fn amortizes_within(&self, runs: f64) -> bool {
+        self.runs_to_break_even().is_some_and(|r| r <= runs)
+    }
+
+    /// Net dollars after `runs` production executions (positive =
+    /// tuning won).
+    pub fn net_saving_after(&self, runs: f64) -> f64 {
+        self.saving_per_run_usd() * runs - self.tuning_cost_usd
+    }
+}
+
+/// Aggregates per-job SLO outcomes into an attainment curve: the
+/// fraction of jobs whose tuned runtime is within `x` of their optimum,
+/// for each `x` in `thresholds`.
+pub fn attainment_curve(reports: &[SloReport], thresholds: &[f64]) -> Vec<(f64, f64)> {
+    thresholds
+        .iter()
+        .map(|&x| {
+            let evaluable: Vec<bool> = reports
+                .iter()
+                .filter_map(|r| r.within_of_optimal(x))
+                .collect();
+            let frac = if evaluable.is_empty() {
+                0.0
+            } else {
+                evaluable.iter().filter(|&&b| b).count() as f64 / evaluable.len() as f64
+            };
+            (x, frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tuned: f64, optimal: f64) -> SloReport {
+        SloReport {
+            tuned_runtime_s: tuned,
+            optimal_runtime_s: Some(optimal),
+            best_similar_runtime_s: Some(optimal * 1.1),
+            default_runtime_s: Some(optimal * 20.0),
+        }
+    }
+
+    #[test]
+    fn distance_and_within() {
+        let r = report(110.0, 100.0);
+        assert!((r.distance_from_optimal().unwrap() - 0.1).abs() < 1e-9);
+        assert_eq!(r.within_of_optimal(0.15), Some(true));
+        assert_eq!(r.within_of_optimal(0.05), Some(false));
+    }
+
+    #[test]
+    fn improvement_over_default_matches_dac_style_factor() {
+        let r = report(100.0, 100.0);
+        assert!((r.improvement_over_default().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_best_similar_uses_history_reference() {
+        let r = report(112.0, 100.0); // best similar = 110
+        assert_eq!(r.within_of_best_similar(0.05), Some(true));
+        assert_eq!(r.within_of_best_similar(0.01), Some(false));
+    }
+
+    #[test]
+    fn ledger_break_even() {
+        let l = AmortizationLedger {
+            tuning_cost_usd: 100.0,
+            baseline_run_cost_usd: 12.0,
+            tuned_run_cost_usd: 10.0,
+        };
+        assert!((l.runs_to_break_even().unwrap() - 50.0).abs() < 1e-9);
+        assert!(l.amortizes_within(90.0));
+        assert!(!l.amortizes_within(40.0));
+        assert!((l.net_saving_after(100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_never_pays_off_without_savings() {
+        let l = AmortizationLedger {
+            tuning_cost_usd: 100.0,
+            baseline_run_cost_usd: 10.0,
+            tuned_run_cost_usd: 10.5,
+        };
+        assert_eq!(l.runs_to_break_even(), None);
+        assert!(!l.amortizes_within(1e9));
+    }
+
+    #[test]
+    fn attainment_curve_fractions() {
+        let reports = vec![report(101.0, 100.0), report(120.0, 100.0), report(200.0, 100.0)];
+        let curve = attainment_curve(&reports, &[0.05, 0.25, 1.5]);
+        assert_eq!(curve[0], (0.05, 1.0 / 3.0));
+        assert!((curve[1].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(curve[2].1, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! CherryPick-style Bayesian optimization (Alipourfard et al. \[10\]):
+//! a Gaussian-process surrogate with a Matérn-5/2 kernel and
+//! Expected-Improvement acquisition, warmed up with a small
+//! Latin-hypercube design — the data-efficient strategy the paper
+//! contrasts with 500-sample search (§IV-C).
+
+use confspace::{neighbor, Configuration, LatinHypercube, ParamSpace, Sampler, UniformSampler};
+use models::{expected_improvement, GpRegressor, Kernel};
+use rand::RngCore;
+
+use crate::objective::Observation;
+use crate::tuner::{best_observation, encode_history, Tuner};
+
+/// Maximum observations kept for the GP fit (most recent + the best are
+/// retained): bounds the O(n³) Cholesky cost for long sessions.
+const MAX_GP_POINTS: usize = 120;
+
+/// GP Bayesian optimization with EI acquisition.
+#[derive(Debug, Clone)]
+pub struct BayesOpt {
+    /// Warm-up design size before the GP takes over.
+    pub init_samples: usize,
+    /// Random candidates scored per proposal.
+    pub candidates: usize,
+    /// Extra neighbourhood candidates around the incumbent.
+    pub local_candidates: usize,
+    kernel: Kernel,
+    pending_init: Vec<Configuration>,
+}
+
+impl Default for BayesOpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BayesOpt {
+    /// Creates the strategy with CherryPick-like defaults.
+    pub fn new() -> Self {
+        Self::with_kernel(Kernel::Matern52 {
+            length_scale: 0.4,
+            variance: 1.0,
+        })
+    }
+
+    /// Creates the strategy with a custom base kernel (used by
+    /// [`crate::tuner::AdditiveBayesOpt`]).
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        BayesOpt {
+            init_samples: 8,
+            candidates: 256,
+            local_candidates: 64,
+            kernel,
+            pending_init: Vec::new(),
+        }
+    }
+
+    fn subsample<'a>(&self, history: &'a [Observation]) -> Vec<&'a Observation> {
+        if history.len() <= MAX_GP_POINTS {
+            return history.iter().collect();
+        }
+        // Keep the best third and the most recent two-thirds.
+        let keep_best = MAX_GP_POINTS / 3;
+        let mut by_runtime: Vec<&Observation> = history.iter().collect();
+        by_runtime.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
+        let mut kept: Vec<&Observation> = by_runtime.into_iter().take(keep_best).collect();
+        for o in history.iter().rev() {
+            if kept.len() >= MAX_GP_POINTS {
+                break;
+            }
+            if !kept.iter().any(|k| std::ptr::eq(*k, o)) {
+                kept.push(o);
+            }
+        }
+        kept
+    }
+}
+
+impl Tuner for BayesOpt {
+    fn name(&self) -> &str {
+        "bayesopt"
+    }
+
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Configuration {
+        // Warm-up: a stratified initial design.
+        if history.len() < self.init_samples {
+            if self.pending_init.is_empty() {
+                self.pending_init = LatinHypercube.sample_n(space, self.init_samples, rng);
+            }
+            if let Some(c) = self.pending_init.pop() {
+                return c;
+            }
+        }
+
+        let kept = self.subsample(history);
+        let owned: Vec<Observation> = kept.into_iter().cloned().collect();
+        let (x, y) = encode_history(space, &owned);
+        let gp = GpRegressor::fit_auto(&x, &y, self.kernel);
+
+        let best_ln = best_observation(history)
+            .map(|o| o.runtime_s.max(1e-3).ln())
+            .unwrap_or(f64::INFINITY);
+
+        // Candidate pool: global random + local refinements.
+        let mut cands = UniformSampler.sample_n(space, self.candidates, rng);
+        if let Some(best) = best_observation(history) {
+            for _ in 0..self.local_candidates {
+                cands.push(neighbor(space, &best.config, 0.05, 0.4, rng));
+            }
+        }
+
+        cands
+            .into_iter()
+            .map(|c| {
+                let (m, s) = gp.predict(&space.encode(&c));
+                let ei = expected_improvement(m, s, best_ln);
+                (c, ei)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c)
+            .unwrap_or_else(|| UniformSampler.sample(space, rng))
+    }
+
+    fn reset(&mut self) {
+        self.pending_init.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A cheap synthetic objective: quadratic bowl over two int params.
+    fn synth_space() -> ParamSpace {
+        ParamSpace::new()
+            .with(confspace::ParamDef::int("a", 0, 100, 50, ""))
+            .with(confspace::ParamDef::int("b", 0, 100, 50, ""))
+    }
+
+    fn synth_eval(cfg: &Configuration) -> f64 {
+        let a = cfg.int("a") as f64;
+        let b = cfg.int("b") as f64;
+        10.0 + ((a - 70.0) / 10.0).powi(2) + ((b - 30.0) / 10.0).powi(2)
+    }
+
+    fn run(tuner: &mut dyn Tuner, budget: usize, seed: u64) -> f64 {
+        let space = synth_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut history = Vec::new();
+        for _ in 0..budget {
+            let cfg = tuner.propose(&space, &history, &mut rng);
+            let runtime_s = synth_eval(&cfg);
+            history.push(Observation {
+                config: cfg,
+                runtime_s,
+                cost_usd: 0.0,
+                metrics: None,
+                failure: None,
+            });
+        }
+        crate::tuner::best_observation(&history).unwrap().runtime_s
+    }
+
+    #[test]
+    fn bo_beats_random_on_a_smooth_bowl() {
+        let mut bo_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..5u64 {
+            bo_total += run(&mut BayesOpt::new(), 30, seed);
+            rnd_total += run(&mut crate::tuner::RandomSearch, 30, seed);
+        }
+        assert!(
+            bo_total < rnd_total,
+            "BO {bo_total} should beat random {rnd_total}"
+        );
+    }
+
+    #[test]
+    fn bo_approaches_the_optimum() {
+        let best = run(&mut BayesOpt::new(), 40, 7);
+        assert!(best < 12.0, "best {best} (optimum 10.0)");
+    }
+
+    #[test]
+    fn warmup_uses_init_design() {
+        let space = synth_space();
+        let mut t = BayesOpt::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = t.propose(&space, &[], &mut rng);
+        assert!(space.validate(&c).is_ok());
+        assert_eq!(t.pending_init.len(), t.init_samples - 1);
+    }
+}

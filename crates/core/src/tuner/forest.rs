@@ -1,0 +1,117 @@
+//! PARIS-style random-forest surrogate search (Yadwadkar et al. \[30\]):
+//! a bagged forest models the configuration→runtime surface and
+//! candidates are ranked by a lower confidence bound over the
+//! ensemble's mean and spread.
+
+use confspace::{Configuration, LatinHypercube, ParamSpace, Sampler, UniformSampler};
+use models::{lower_confidence_bound, ForestParams, RandomForest};
+use rand::RngCore;
+
+use crate::objective::Observation;
+use crate::tuner::{encode_history, Tuner};
+
+/// Random-forest surrogate search with LCB acquisition.
+#[derive(Debug, Clone)]
+pub struct ForestTuner {
+    /// Warm-up design size.
+    pub init_samples: usize,
+    /// Candidates scored per proposal.
+    pub candidates: usize,
+    /// Exploration weight on the ensemble spread.
+    pub beta: f64,
+    pending_init: Vec<Configuration>,
+}
+
+impl Default for ForestTuner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ForestTuner {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        ForestTuner {
+            init_samples: 10,
+            candidates: 256,
+            beta: 1.0,
+            pending_init: Vec::new(),
+        }
+    }
+}
+
+impl Tuner for ForestTuner {
+    fn name(&self) -> &str {
+        "forest"
+    }
+
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Configuration {
+        if history.len() < self.init_samples {
+            if self.pending_init.is_empty() {
+                self.pending_init = LatinHypercube.sample_n(space, self.init_samples, rng);
+            }
+            if let Some(c) = self.pending_init.pop() {
+                return c;
+            }
+        }
+        let (x, y) = encode_history(space, history);
+        let forest = RandomForest::fit(&x, &y, ForestParams::default(), rng);
+        UniformSampler
+            .sample_n(space, self.candidates, rng)
+            .into_iter()
+            .map(|c| {
+                let (m, s) = forest.predict_with_std(&space.encode(&c));
+                (c, lower_confidence_bound(m, s, self.beta))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c)
+            .unwrap_or_else(|| space.default_configuration())
+    }
+
+    fn reset(&mut self) {
+        self.pending_init.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forest_tuner_improves_over_warmup() {
+        let space = ParamSpace::new()
+            .with(confspace::ParamDef::int("a", 0, 100, 50, ""))
+            .with(confspace::ParamDef::int("b", 0, 100, 50, ""));
+        let eval = |c: &Configuration| {
+            let a = c.int("a") as f64;
+            let b = c.int("b") as f64;
+            3.0 + ((a - 90.0) / 20.0).powi(2) + ((b - 10.0) / 20.0).powi(2)
+        };
+        let mut t = ForestTuner::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut history = Vec::new();
+        for _ in 0..35 {
+            let cfg = t.propose(&space, &history, &mut rng);
+            assert!(space.validate(&cfg).is_ok());
+            history.push(Observation {
+                runtime_s: eval(&cfg),
+                config: cfg,
+                cost_usd: 0.0,
+                metrics: None,
+                failure: None,
+            });
+        }
+        let curve = crate::tuner::best_so_far(&history);
+        assert!(
+            curve.last().unwrap() < &curve[t.init_samples - 1],
+            "model phase should beat warm-up"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! DAC-style surrogate-assisted genetic search (Yu et al. \[31\]):
+//! a learned performance model (here a random forest standing in for
+//! DAC's hierarchical regression-tree ensemble) is searched with a
+//! genetic algorithm, and only the GA's winner is actually executed.
+
+use confspace::{crossover, mutate, Configuration, LatinHypercube, ParamSpace, Sampler};
+use models::{ForestParams, RandomForest};
+use rand::{Rng, RngCore};
+
+use crate::objective::Observation;
+use crate::tuner::{encode_history, Tuner};
+
+/// Surrogate-assisted genetic configuration search.
+#[derive(Debug, Clone)]
+pub struct Genetic {
+    /// Warm-up design size before the surrogate takes over.
+    pub init_samples: usize,
+    /// GA population size.
+    pub population: usize,
+    /// GA generations per proposal.
+    pub generations: usize,
+    /// Per-parameter mutation probability.
+    pub mutation_rate: f64,
+    pending_init: Vec<Configuration>,
+}
+
+impl Default for Genetic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Genetic {
+    /// Creates the strategy with DAC-like defaults.
+    pub fn new() -> Self {
+        Genetic {
+            init_samples: 10,
+            population: 40,
+            generations: 8,
+            mutation_rate: 0.08,
+            pending_init: Vec::new(),
+        }
+    }
+}
+
+impl Tuner for Genetic {
+    fn name(&self) -> &str {
+        "genetic"
+    }
+
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Configuration {
+        if history.len() < self.init_samples {
+            if self.pending_init.is_empty() {
+                self.pending_init = LatinHypercube.sample_n(space, self.init_samples, rng);
+            }
+            if let Some(c) = self.pending_init.pop() {
+                return c;
+            }
+        }
+
+        // Fit the surrogate on everything observed so far.
+        let (x, y) = encode_history(space, history);
+        let forest = RandomForest::fit(&x, &y, ForestParams::default(), rng);
+        let score = |c: &Configuration| forest.predict(&space.encode(c));
+
+        // Seed the population with the best observed configs + randoms.
+        let mut ranked: Vec<&Observation> = history.iter().filter(|o| o.is_ok()).collect();
+        ranked.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
+        let mut pop: Vec<Configuration> = ranked
+            .iter()
+            .take(self.population / 4)
+            .map(|o| o.config.clone())
+            .collect();
+        while pop.len() < self.population {
+            pop.push(LatinHypercube.sample(space, rng));
+        }
+
+        for _ in 0..self.generations {
+            let mut scored: Vec<(f64, Configuration)> =
+                pop.into_iter().map(|c| (score(&c), c)).collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let elite = self.population / 4;
+            let mut next: Vec<Configuration> =
+                scored.iter().take(elite).map(|s| s.1.clone()).collect();
+            while next.len() < self.population {
+                // Tournament selection from the top half.
+                let half = (self.population / 2).max(2);
+                let a = &scored[rng.gen_range(0..half.min(scored.len()))].1;
+                let b = &scored[rng.gen_range(0..half.min(scored.len()))].1;
+                let child = crossover(space, a, b, rng);
+                next.push(mutate(space, &child, self.mutation_rate, rng));
+            }
+            pop = next;
+        }
+
+        // Return the surrogate-best individual not evaluated yet.
+        let mut final_scored: Vec<(f64, Configuration)> =
+            pop.into_iter().map(|c| (score(&c), c)).collect();
+        final_scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, c) in &final_scored {
+            if !history.iter().any(|o| &o.config == c) {
+                return c.clone();
+            }
+        }
+        final_scored
+            .into_iter()
+            .next()
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| space.default_configuration())
+    }
+
+    fn reset(&mut self) {
+        self.pending_init.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn genetic_improves_on_a_synthetic_surface() {
+        let space = ParamSpace::new()
+            .with(confspace::ParamDef::int("a", 0, 100, 50, ""))
+            .with(confspace::ParamDef::int("b", 0, 100, 50, ""));
+        let eval = |c: &Configuration| {
+            let a = c.int("a") as f64;
+            let b = c.int("b") as f64;
+            5.0 + ((a - 20.0) / 15.0).powi(2) + ((b - 80.0) / 15.0).powi(2)
+        };
+        let mut t = Genetic::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut history = Vec::new();
+        for _ in 0..30 {
+            let cfg = t.propose(&space, &history, &mut rng);
+            assert!(space.validate(&cfg).is_ok());
+            history.push(Observation {
+                runtime_s: eval(&cfg),
+                config: cfg,
+                cost_usd: 0.0,
+                metrics: None,
+                failure: None,
+            });
+        }
+        let best = crate::tuner::best_observation(&history).unwrap().runtime_s;
+        let init_best = crate::tuner::best_so_far(&history)[t.init_samples - 1];
+        assert!(best <= init_best, "GA should not regress: {best} vs {init_best}");
+        assert!(best < 9.0, "best {best}");
+    }
+
+    #[test]
+    fn avoids_re_proposing_evaluated_configs() {
+        let space = ParamSpace::new().with(confspace::ParamDef::int("a", 0, 3, 0, ""));
+        let mut t = Genetic::new();
+        t.init_samples = 2;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut history = Vec::new();
+        for _ in 0..4 {
+            let cfg = t.propose(&space, &history, &mut rng);
+            history.push(Observation {
+                runtime_s: cfg.int("a") as f64 + 1.0,
+                config: cfg,
+                cost_usd: 0.0,
+                metrics: None,
+                failure: None,
+            });
+        }
+        // With only 4 configs in the space, all 4 should be covered.
+        let mut seen: Vec<i64> = history.iter().map(|o| o.config.int("a")).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 3, "explored {seen:?}");
+    }
+}

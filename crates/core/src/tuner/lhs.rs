@@ -1,0 +1,87 @@
+//! Latin-hypercube search: stratified batches instead of i.i.d. draws.
+
+use confspace::{Configuration, LatinHypercube, ParamSpace, Sampler};
+use rand::RngCore;
+
+use crate::objective::Observation;
+use crate::tuner::Tuner;
+
+/// Latin-hypercube search: draws configurations in stratified batches
+/// of `batch` samples, guaranteeing per-dimension coverage within each
+/// batch.
+#[derive(Debug, Clone, Default)]
+pub struct LhsSearch {
+    batch: usize,
+    pending: Vec<Configuration>,
+}
+
+impl LhsSearch {
+    /// Creates the strategy with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn new(batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        LhsSearch {
+            batch,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Tuner for LhsSearch {
+    fn name(&self) -> &str {
+        "lhs"
+    }
+
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        _history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Configuration {
+        if self.pending.is_empty() {
+            self.pending = LatinHypercube.sample_n(space, self.batch, rng);
+        }
+        self.pending.pop().expect("batch is non-empty")
+    }
+
+    fn reset(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_are_stratified() {
+        let space =
+            ParamSpace::new().with(confspace::ParamDef::float("f", 0.0, 1.0, 0.5, ""));
+        let mut t = LhsSearch::new(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut strata: Vec<usize> = (0..8)
+            .map(|_| {
+                let c = t.propose(&space, &[], &mut rng);
+                ((c.float("f") * 8.0).floor() as usize).min(7)
+            })
+            .collect();
+        strata.sort_unstable();
+        assert_eq!(strata, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_discards_pending() {
+        let space =
+            ParamSpace::new().with(confspace::ParamDef::float("f", 0.0, 1.0, 0.5, ""));
+        let mut t = LhsSearch::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = t.propose(&space, &[], &mut rng);
+        t.reset();
+        assert!(t.pending.is_empty());
+    }
+}

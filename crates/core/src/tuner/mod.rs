@@ -1,0 +1,367 @@
+//! Configuration-tuning strategies.
+//!
+//! One sub-module per strategy from the paper's survey (§II), all
+//! implementing the [`Tuner`] trait:
+//!
+//! | module | strategy | system in the paper |
+//! |--------|----------|---------------------|
+//! | [`random`] | uniform random search | the Table I methodology |
+//! | [`lhs`] | Latin-hypercube search | stratified baseline |
+//! | [`hillclimb`] | restart hill climbing | MROnline \[25\] |
+//! | [`bo`] | GP Bayesian optimization (Matérn 5/2 + EI) | CherryPick \[10\] |
+//! | [`additive_bo`] | BO with additive GP kernel | Duvenaud et al. (§V-A) |
+//! | [`genetic`] | surrogate-assisted genetic search | DAC \[31\] |
+//! | [`bestconfig`] | divide-&-diverge + recursive bound-&-search | BestConfig \[35\] |
+//! | [`rtree`] | regression-tree surrogate search | Wang et al. \[29\] |
+//! | [`forest`] | random-forest surrogate search | PARIS \[30\] |
+//! | [`ernest`] | analytic machine-scaling model | Ernest \[28\] |
+//! | [`rl`] | ε-greedy Q-learning over parameter nudges | Bu et al. \[11\] |
+
+pub mod additive_bo;
+pub mod bestconfig;
+pub mod bo;
+pub mod ernest;
+pub mod forest;
+pub mod genetic;
+pub mod hillclimb;
+pub mod lhs;
+pub mod random;
+pub mod rl;
+pub mod rtree;
+
+use confspace::{Configuration, ParamSpace};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::objective::{Objective, Observation};
+
+pub use additive_bo::AdditiveBayesOpt;
+pub use bestconfig::BestConfig;
+pub use bo::BayesOpt;
+pub use ernest::Ernest;
+pub use forest::ForestTuner;
+pub use genetic::Genetic;
+pub use hillclimb::HillClimb;
+pub use lhs::LhsSearch;
+pub use random::RandomSearch;
+pub use rl::RlTuner;
+pub use rtree::RegressionTreeTuner;
+
+/// A sequential configuration-tuning strategy.
+///
+/// The tuning loop alternates `propose` → `Objective::evaluate`; the
+/// full history (in evaluation order) is passed back on each call, so
+/// strategies may be implemented statelessly or keep internal state.
+pub trait Tuner {
+    /// The strategy's display name.
+    fn name(&self) -> &str;
+
+    /// Proposes the next configuration to evaluate.
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Configuration;
+
+    /// Clears internal state for a fresh session.
+    fn reset(&mut self) {}
+}
+
+/// The catalog of built-in strategies (factory enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TunerKind {
+    /// Uniform random search.
+    Random,
+    /// Latin-hypercube search.
+    Lhs,
+    /// MROnline-style hill climbing.
+    HillClimb,
+    /// CherryPick-style Bayesian optimization.
+    BayesOpt,
+    /// Bayesian optimization with an additive GP kernel.
+    AdditiveBayesOpt,
+    /// DAC-style surrogate-assisted genetic search.
+    Genetic,
+    /// BestConfig's divide-and-diverge + recursive bound-and-search.
+    BestConfig,
+    /// Wang-style regression-tree surrogate search.
+    RegressionTree,
+    /// PARIS-style random-forest surrogate search.
+    RandomForest,
+    /// Ernest's analytic machine-scaling model.
+    Ernest,
+    /// Bu-et-al-style reinforcement-learning nudges.
+    Rl,
+}
+
+impl TunerKind {
+    /// Every built-in strategy.
+    pub fn all() -> Vec<TunerKind> {
+        vec![
+            TunerKind::Random,
+            TunerKind::Lhs,
+            TunerKind::HillClimb,
+            TunerKind::BayesOpt,
+            TunerKind::AdditiveBayesOpt,
+            TunerKind::Genetic,
+            TunerKind::BestConfig,
+            TunerKind::RegressionTree,
+            TunerKind::RandomForest,
+            TunerKind::Ernest,
+            TunerKind::Rl,
+        ]
+    }
+
+    /// Instantiates the strategy with default hyperparameters.
+    pub fn build(self) -> Box<dyn Tuner> {
+        match self {
+            TunerKind::Random => Box::new(RandomSearch),
+            TunerKind::Lhs => Box::new(LhsSearch::new(16)),
+            TunerKind::HillClimb => Box::new(HillClimb::new()),
+            TunerKind::BayesOpt => Box::new(BayesOpt::new()),
+            TunerKind::AdditiveBayesOpt => Box::new(AdditiveBayesOpt::new()),
+            TunerKind::Genetic => Box::new(Genetic::new()),
+            TunerKind::BestConfig => Box::new(BestConfig::new(12)),
+            TunerKind::RegressionTree => Box::new(RegressionTreeTuner::new()),
+            TunerKind::RandomForest => Box::new(ForestTuner::new()),
+            TunerKind::Ernest => Box::new(Ernest::new()),
+            TunerKind::Rl => Box::new(RlTuner::new()),
+        }
+    }
+
+    /// The strategy's display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            TunerKind::Random => "random",
+            TunerKind::Lhs => "lhs",
+            TunerKind::HillClimb => "hillclimb",
+            TunerKind::BayesOpt => "bayesopt",
+            TunerKind::AdditiveBayesOpt => "additive-bo",
+            TunerKind::Genetic => "genetic",
+            TunerKind::BestConfig => "bestconfig",
+            TunerKind::RegressionTree => "rtree",
+            TunerKind::RandomForest => "forest",
+            TunerKind::Ernest => "ernest",
+            TunerKind::Rl => "rl",
+        }
+    }
+}
+
+impl std::fmt::Display for TunerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The result of one tuning session.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Every observation, in evaluation order (warm-start observations
+    /// excluded).
+    pub history: Vec<Observation>,
+    /// The best successful observation, if any run succeeded.
+    pub best: Option<Observation>,
+}
+
+impl TuningOutcome {
+    /// Best runtime found (∞ when every run failed).
+    pub fn best_runtime_s(&self) -> f64 {
+        self.best.as_ref().map_or(f64::INFINITY, |o| o.runtime_s)
+    }
+
+    /// The best configuration found, when any run succeeded.
+    pub fn best_config(&self) -> Option<&Configuration> {
+        self.best.as_ref().map(|o| &o.config)
+    }
+
+    /// Best-so-far runtime curve (index = evaluations used − 1).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        best_so_far(&self.history)
+    }
+
+    /// Total tuning cost in dollars (sum of all evaluation costs).
+    pub fn total_cost_usd(&self) -> f64 {
+        self.history.iter().map(|o| o.cost_usd).sum()
+    }
+
+    /// Total machine time consumed by tuning (s).
+    pub fn total_machine_time_s(&self) -> f64 {
+        self.history.iter().map(|o| o.runtime_s).sum()
+    }
+
+    /// Number of evaluations needed to get within `pct` (e.g. 0.10) of
+    /// the session's final best runtime; `None` when no run succeeded.
+    pub fn evals_to_within(&self, pct: f64) -> Option<usize> {
+        let target = self.best_runtime_s() * (1.0 + pct);
+        self.best_so_far()
+            .iter()
+            .position(|&b| b <= target)
+            .map(|i| i + 1)
+    }
+}
+
+/// Best-so-far runtime curve over a raw history.
+pub fn best_so_far(history: &[Observation]) -> Vec<f64> {
+    let mut best = f64::INFINITY;
+    history
+        .iter()
+        .map(|o| {
+            if o.is_ok() {
+                best = best.min(o.runtime_s);
+            }
+            best
+        })
+        .collect()
+}
+
+/// The best successful observation in a history.
+pub fn best_observation(history: &[Observation]) -> Option<&Observation> {
+    history
+        .iter()
+        .filter(|o| o.is_ok())
+        .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+}
+
+/// Encodes a history for surrogate models: features in `[0,1]^d`,
+/// targets as `ln(runtime)` (the log tames the failure penalty and the
+/// heavy right tail of runtime distributions).
+pub fn encode_history(
+    space: &ParamSpace,
+    history: &[Observation],
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x = history.iter().map(|o| space.encode(&o.config)).collect();
+    let y = history.iter().map(|o| o.runtime_s.max(1e-3).ln()).collect();
+    (x, y)
+}
+
+/// A tuning session: a strategy plus a seeded RNG, driven against an
+/// objective for a fixed evaluation budget.
+pub struct TuningSession {
+    tuner: Box<dyn Tuner>,
+    rng: StdRng,
+    warm: Vec<Observation>,
+}
+
+impl TuningSession {
+    /// Creates a session for the given strategy and seed.
+    pub fn new(kind: TunerKind, seed: u64) -> Self {
+        TuningSession {
+            tuner: kind.build(),
+            rng: StdRng::seed_from_u64(seed),
+            warm: Vec::new(),
+        }
+    }
+
+    /// Creates a session around an existing tuner instance.
+    pub fn with_tuner(tuner: Box<dyn Tuner>, seed: u64) -> Self {
+        TuningSession {
+            tuner,
+            rng: StdRng::seed_from_u64(seed),
+            warm: Vec::new(),
+        }
+    }
+
+    /// Seeds the session with transferred observations (§V-B): they are
+    /// visible to the strategy but not charged against the budget and
+    /// not reported in the outcome history.
+    pub fn warm_start(&mut self, observations: Vec<Observation>) -> &mut Self {
+        self.warm = observations;
+        self
+    }
+
+    /// Runs `budget` evaluations against `objective`.
+    pub fn run(&mut self, objective: &mut dyn Objective, budget: usize) -> TuningOutcome {
+        let mut history: Vec<Observation> = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let visible: Vec<Observation> = self
+                .warm
+                .iter()
+                .chain(history.iter())
+                .cloned()
+                .collect();
+            let cfg = self
+                .tuner
+                .propose(objective.space(), &visible, &mut self.rng);
+            let obs = objective.evaluate(&cfg);
+            history.push(obs);
+        }
+        let best = best_observation(&history).cloned();
+        TuningOutcome { history, best }
+    }
+
+    /// The underlying strategy's name.
+    pub fn tuner_name(&self) -> &str {
+        self.tuner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FAILURE_PENALTY_S;
+
+    fn obs(runtime: f64, ok: bool) -> Observation {
+        Observation {
+            config: Configuration::new(),
+            runtime_s: if ok { runtime } else { FAILURE_PENALTY_S },
+            cost_usd: 1.0,
+            metrics: None,
+            failure: if ok {
+                None
+            } else {
+                Some(simcluster::FailureKind::DriverOom)
+            },
+        }
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_and_skips_failures() {
+        let h = vec![obs(10.0, true), obs(50.0, false), obs(5.0, true), obs(7.0, true)];
+        let curve = best_so_far(&h);
+        assert_eq!(curve, vec![10.0, 10.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn best_observation_ignores_failures() {
+        let h = vec![obs(10.0, false), obs(20.0, true)];
+        assert_eq!(best_observation(&h).unwrap().runtime_s, 20.0);
+        assert!(best_observation(&[obs(1.0, false)]).is_none());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = TuningOutcome {
+            history: vec![obs(10.0, true), obs(4.0, true), obs(6.0, true)],
+            best: Some(obs(4.0, true)),
+        };
+        assert_eq!(o.best_runtime_s(), 4.0);
+        assert_eq!(o.total_cost_usd(), 3.0);
+        assert_eq!(o.evals_to_within(0.0), Some(2));
+        assert_eq!(o.evals_to_within(2.0), Some(1)); // within 3x of 4.0 is 12 >= 10
+    }
+
+    #[test]
+    fn all_kinds_build_and_have_unique_labels() {
+        let kinds = TunerKind::all();
+        assert_eq!(kinds.len(), 11);
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 11);
+        for k in kinds {
+            let t = k.build();
+            assert!(!t.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn encode_history_log_transforms() {
+        let space = ParamSpace::new().with(confspace::ParamDef::int("a", 0, 10, 5, ""));
+        let h = vec![obs(std::f64::consts::E, true)];
+        let (x, y) = encode_history(&space, &h);
+        assert_eq!(x.len(), 1);
+        assert!((y[0] - 1.0).abs() < 1e-12);
+    }
+}

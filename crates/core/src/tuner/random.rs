@@ -1,0 +1,47 @@
+//! Uniform random search — the methodology behind the paper's own
+//! Table I experiment ("we ran the workload using 100 random
+//! configurations to find the best configuration").
+
+use confspace::{Configuration, ParamSpace, Sampler, UniformSampler};
+use rand::RngCore;
+
+use crate::objective::Observation;
+use crate::tuner::Tuner;
+
+/// Uniform random search over the space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn propose(
+        &mut self,
+        space: &ParamSpace,
+        _history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Configuration {
+        UniformSampler.sample(space, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposals_are_valid_and_varied() {
+        let space = confspace::spark::spark_space();
+        let mut t = RandomSearch;
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = t.propose(&space, &[], &mut rng);
+        let b = t.propose(&space, &[], &mut rng);
+        assert!(space.validate(&a).is_ok());
+        assert!(space.validate(&b).is_ok());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,283 @@
+//! Change-point detection over runtime streams — the machinery behind
+//! "accurately defining the need for workload re-tuning" (§V-D).
+//!
+//! Three detectors are provided:
+//!
+//! * [`FixedThreshold`] — the naive fixed-percentage rule the paper
+//!   criticizes ("likely to lead to re-tuning either too frequently or
+//!   too late");
+//! * [`PageHinkley`] — sequential drift detection on the running mean;
+//! * [`Cusum`] — two-sided cumulative-sum detection.
+
+/// A sequential detector over a stream of runtime observations.
+pub trait ChangeDetector {
+    /// Feeds one observation; returns `true` when a change is signalled.
+    fn update(&mut self, value: f64) -> bool;
+
+    /// Resets the detector (after re-tuning completes).
+    fn reset(&mut self);
+
+    /// The detector's display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Fixed percentage threshold over a frozen baseline: signals when a
+/// value exceeds `baseline × (1 + pct)`. The baseline is the mean of
+/// the first `warmup` observations — exactly the kind of rigid
+/// heuristic §V-D warns about.
+#[derive(Debug, Clone)]
+pub struct FixedThreshold {
+    pct: f64,
+    warmup: usize,
+    seen: usize,
+    baseline_sum: f64,
+    baseline: Option<f64>,
+}
+
+impl FixedThreshold {
+    /// Creates the detector with relative threshold `pct` (e.g. 0.2 =
+    /// +20%) and a `warmup`-sample baseline.
+    pub fn new(pct: f64, warmup: usize) -> Self {
+        FixedThreshold {
+            pct,
+            warmup: warmup.max(1),
+            seen: 0,
+            baseline_sum: 0.0,
+            baseline: None,
+        }
+    }
+}
+
+impl ChangeDetector for FixedThreshold {
+    fn update(&mut self, value: f64) -> bool {
+        match self.baseline {
+            None => {
+                self.seen += 1;
+                self.baseline_sum += value;
+                if self.seen >= self.warmup {
+                    self.baseline = Some(self.baseline_sum / self.seen as f64);
+                }
+                false
+            }
+            Some(b) => value > b * (1.0 + self.pct),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.seen = 0;
+        self.baseline_sum = 0.0;
+        self.baseline = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-threshold"
+    }
+}
+
+/// Page–Hinkley test: signals when the cumulative deviation of the
+/// stream above its running mean exceeds `lambda`, with slack `delta`.
+///
+/// # Example
+///
+/// ```
+/// use models::{ChangeDetector, PageHinkley};
+///
+/// let mut detector = PageHinkley::new(1.0, 50.0);
+/// for _ in 0..20 {
+///     assert!(!detector.update(100.0)); // stationary: quiet
+/// }
+/// let fired = (0..20).any(|_| detector.update(140.0));
+/// assert!(fired, "a sustained +40% shift must be detected");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    n: usize,
+    mean: f64,
+    cum: f64,
+    cum_min: f64,
+}
+
+impl PageHinkley {
+    /// Creates the detector. `delta` is the tolerated drift per sample
+    /// (in target units), `lambda` the alarm threshold.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        PageHinkley {
+            delta,
+            lambda,
+            n: 0,
+            mean: 0.0,
+            cum: 0.0,
+            cum_min: 0.0,
+        }
+    }
+}
+
+impl ChangeDetector for PageHinkley {
+    fn update(&mut self, value: f64) -> bool {
+        self.n += 1;
+        self.mean += (value - self.mean) / self.n as f64;
+        self.cum += value - self.mean - self.delta;
+        self.cum_min = self.cum_min.min(self.cum);
+        self.cum - self.cum_min > self.lambda
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.cum_min = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "page-hinkley"
+    }
+}
+
+/// Two-sided CUSUM with reference value `k` and decision interval `h`,
+/// both expressed relative to a warmup-estimated baseline mean.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    k: f64,
+    h: f64,
+    warmup: usize,
+    seen: usize,
+    baseline_sum: f64,
+    baseline: Option<f64>,
+    s_hi: f64,
+    s_lo: f64,
+}
+
+impl Cusum {
+    /// Creates the detector: `k` = slack per sample and `h` = alarm
+    /// threshold, both as *fractions* of the baseline mean; `warmup`
+    /// samples estimate the baseline.
+    pub fn new(k: f64, h: f64, warmup: usize) -> Self {
+        Cusum {
+            k,
+            h,
+            warmup: warmup.max(1),
+            seen: 0,
+            baseline_sum: 0.0,
+            baseline: None,
+            s_hi: 0.0,
+            s_lo: 0.0,
+        }
+    }
+}
+
+impl ChangeDetector for Cusum {
+    fn update(&mut self, value: f64) -> bool {
+        match self.baseline {
+            None => {
+                self.seen += 1;
+                self.baseline_sum += value;
+                if self.seen >= self.warmup {
+                    self.baseline = Some(self.baseline_sum / self.seen as f64);
+                }
+                false
+            }
+            Some(b) => {
+                let z = (value - b) / b.max(1e-12);
+                self.s_hi = (self.s_hi + z - self.k).max(0.0);
+                self.s_lo = (self.s_lo - z - self.k).max(0.0);
+                self.s_hi > self.h || self.s_lo > self.h
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.seen = 0;
+        self.baseline_sum = 0.0;
+        self.baseline = None;
+        self.s_hi = 0.0;
+        self.s_lo = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "cusum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(d: &mut dyn ChangeDetector, values: &[f64]) -> Option<usize> {
+        for (i, &v) in values.iter().enumerate() {
+            if d.update(v) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn shift_stream() -> Vec<f64> {
+        let mut v = vec![100.0; 30];
+        v.extend(vec![150.0; 30]);
+        v
+    }
+
+    #[test]
+    fn all_detectors_catch_a_big_shift() {
+        let stream = shift_stream();
+        let mut ft = FixedThreshold::new(0.2, 5);
+        let mut ph = PageHinkley::new(1.0, 60.0);
+        let mut cs = Cusum::new(0.05, 1.0, 5);
+        assert!(feed(&mut ft, &stream).is_some());
+        assert!(feed(&mut ph, &stream).is_some());
+        assert!(feed(&mut cs, &stream).is_some());
+    }
+
+    #[test]
+    fn detectors_stay_quiet_on_stationary_stream() {
+        let stream = vec![100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 99.8, 100.0, 100.1, 99.9];
+        let mut ph = PageHinkley::new(1.0, 60.0);
+        let mut cs = Cusum::new(0.05, 1.0, 3);
+        assert_eq!(feed(&mut ph, &stream), None);
+        assert_eq!(feed(&mut cs, &stream), None);
+    }
+
+    #[test]
+    fn fixed_threshold_fires_on_single_spike_false_positive() {
+        // The paper's §V-D complaint: a one-off spike triggers the
+        // fixed rule even though nothing changed.
+        let mut stream = vec![100.0; 10];
+        stream.push(130.0); // transient noise spike
+        stream.extend(vec![100.0; 10]);
+        let mut ft = FixedThreshold::new(0.2, 5);
+        let mut cs = Cusum::new(0.1, 1.5, 5);
+        assert!(feed(&mut ft, &stream).is_some(), "fixed rule fires");
+        assert_eq!(feed(&mut cs, &stream), None, "cusum absorbs the spike");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let stream = shift_stream();
+        let mut ph = PageHinkley::new(1.0, 60.0);
+        assert!(feed(&mut ph, &stream).is_some());
+        ph.reset();
+        assert_eq!(feed(&mut ph, &vec![150.0; 10]), None, "new regime is the new normal");
+    }
+
+    #[test]
+    fn gradual_drift_is_caught_by_page_hinkley() {
+        let stream: Vec<f64> = (0..80).map(|i| 100.0 + i as f64 * 1.5).collect();
+        let mut ph = PageHinkley::new(0.5, 40.0);
+        assert!(feed(&mut ph, &stream).is_some());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            FixedThreshold::new(0.1, 3).name(),
+            PageHinkley::new(0.1, 1.0).name(),
+            Cusum::new(0.1, 1.0, 3).name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Workload clustering: k-medoids (PAM), AROMA's mechanism for grouping
+//! jobs by resource signature before transferring tuning models (§II-B,
+//! §V-B), plus k-nearest-neighbour retrieval for similarity search.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::stats::dist;
+
+/// The result of a k-medoids clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Indices of the medoid points, one per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster assignment for each input point (index into `medoids`).
+    pub assignment: Vec<usize>,
+    /// Total within-cluster distance.
+    pub cost: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// The members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs PAM-style k-medoids on `points`.
+///
+/// Random medoid initialization, then alternate (a) assignment to the
+/// nearest medoid and (b) greedy medoid swaps while the total cost
+/// improves, up to `max_iters` rounds.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let clustering = models::k_medoids(&points, 2, 10, &mut rng);
+/// assert_eq!(clustering.assignment[0], clustering.assignment[1]);
+/// assert_ne!(clustering.assignment[0], clustering.assignment[2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `k == 0` or `k > points.len()`.
+pub fn k_medoids<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> Clustering {
+    assert!(k >= 1 && k <= points.len(), "need 1 <= k <= n");
+    let n = points.len();
+    let mut medoids: Vec<usize> = (0..n).collect();
+    medoids.shuffle(rng);
+    medoids.truncate(k);
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut total = 0.0;
+        let assignment = points
+            .iter()
+            .map(|p| {
+                let (c, d) = medoids
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &m)| (c, dist(p, &points[m])))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("k >= 1");
+                total += d;
+                c
+            })
+            .collect();
+        (assignment, total)
+    };
+
+    let (mut assignment, mut cost) = assign(&medoids);
+    for _ in 0..max_iters {
+        let mut improved = false;
+        for c in 0..k {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[c] = cand;
+                let (a, cst) = assign(&trial);
+                if cst + 1e-12 < cost {
+                    medoids = trial;
+                    assignment = a;
+                    cost = cst;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Clustering {
+        medoids,
+        assignment,
+        cost,
+    }
+}
+
+/// Indices of the `k` nearest neighbours of `query` in `points`
+/// (ascending distance).
+pub fn k_nearest(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| dist(&points[a], query).total_cmp(&dist(&points[b], query)));
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = k_medoids(&pts, 2, 20, &mut rng);
+        assert_eq!(c.k(), 2);
+        // All points in the first blob share a cluster, disjoint from
+        // the second blob's cluster.
+        let first = c.assignment[0];
+        assert!(c.assignment[..10].iter().all(|&a| a == first));
+        assert!(c.assignment[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_cost() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = k_medoids(&pts, 3, 10, &mut rng);
+        assert!(c.cost < 1e-12);
+    }
+
+    #[test]
+    fn members_partition_the_points() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = k_medoids(&pts, 2, 20, &mut rng);
+        let total: usize = (0..c.k()).map(|i| c.members(i).len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let pts = vec![vec![0.0], vec![10.0], vec![1.0], vec![5.0]];
+        let nn = k_nearest(&pts, &[0.9], 2);
+        assert_eq!(nn, vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn k_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = k_medoids(&[vec![0.0]], 0, 5, &mut rng);
+    }
+}

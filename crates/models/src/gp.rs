@@ -1,0 +1,423 @@
+//! Gaussian-process regression — the surrogate behind CherryPick-style
+//! Bayesian optimization (§II-A), plus Duvenaud-style *additive* kernels
+//! (§V-A: interpretable, per-dimension decomposable models).
+
+use crate::linalg::{LinalgError, Matrix};
+use crate::stats::{mean, normal_cdf, normal_pdf, std_dev};
+
+/// Covariance kernels over `[0,1]^d` feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Squared-exponential (RBF): smooth, infinitely differentiable.
+    SquaredExp {
+        /// Shared length scale across dimensions.
+        length_scale: f64,
+        /// Signal variance.
+        variance: f64,
+    },
+    /// Matérn 5/2: the standard choice for performance surfaces
+    /// (CherryPick uses Matérn).
+    Matern52 {
+        /// Shared length scale across dimensions.
+        length_scale: f64,
+        /// Signal variance.
+        variance: f64,
+    },
+    /// First-order additive kernel (Duvenaud et al.): a sum of
+    /// one-dimensional squared-exponential kernels — each dimension
+    /// contributes independently, making the model decomposable and
+    /// far more data-efficient in high dimensions when interactions
+    /// are weak.
+    Additive {
+        /// Shared 1-D length scale.
+        length_scale: f64,
+        /// Signal variance (split evenly across dimensions).
+        variance: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel at a pair of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel dimension mismatch");
+        match *self {
+            Kernel::SquaredExp {
+                length_scale,
+                variance,
+            } => {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = (x - y) / length_scale;
+                        d * d
+                    })
+                    .sum();
+                variance * (-0.5 * d2).exp()
+            }
+            Kernel::Matern52 {
+                length_scale,
+                variance,
+            } => {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = (x - y) / length_scale;
+                        d * d
+                    })
+                    .sum();
+                let r = d2.sqrt();
+                let s5 = 5f64.sqrt();
+                variance * (1.0 + s5 * r + 5.0 * d2 / 3.0) * (-s5 * r).exp()
+            }
+            Kernel::Additive {
+                length_scale,
+                variance,
+            } => {
+                let d = a.len().max(1) as f64;
+                let sum: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let r = (x - y) / length_scale;
+                        (-0.5 * r * r).exp()
+                    })
+                    .sum();
+                variance * sum / d
+            }
+        }
+    }
+
+    /// Same kernel with a different length scale (hyperparameter search).
+    #[must_use]
+    pub fn with_length_scale(self, ls: f64) -> Kernel {
+        match self {
+            Kernel::SquaredExp { variance, .. } => Kernel::SquaredExp {
+                length_scale: ls,
+                variance,
+            },
+            Kernel::Matern52 { variance, .. } => Kernel::Matern52 {
+                length_scale: ls,
+                variance,
+            },
+            Kernel::Additive { variance, .. } => Kernel::Additive {
+                length_scale: ls,
+                variance,
+            },
+        }
+    }
+}
+
+/// A fitted Gaussian-process regressor (zero-mean prior on standardized
+/// targets).
+///
+/// # Example
+///
+/// ```
+/// use models::{GpRegressor, Kernel};
+///
+/// let x = vec![vec![0.0], vec![0.5], vec![1.0]];
+/// let y = vec![1.0, 0.2, 1.1];
+/// let gp = GpRegressor::fit(
+///     &x, &y,
+///     Kernel::Matern52 { length_scale: 0.4, variance: 1.0 },
+///     1e-4,
+/// ).expect("kernel matrix is positive definite");
+/// let (mean, std) = gp.predict(&[0.25]);
+/// assert!(std >= 0.0);
+/// assert!(mean < 1.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    kernel: Kernel,
+    noise: f64,
+    x: Vec<Vec<f64>>,
+    chol: Matrix,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    lml: f64,
+}
+
+impl GpRegressor {
+    /// Fits a GP with the given kernel and observation-noise variance
+    /// (in standardized-target units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError`] when the kernel matrix is numerically
+    /// singular (e.g. duplicate points with zero noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `x.len() != y.len()`.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        kernel: Kernel,
+        noise: f64,
+    ) -> Result<Self, LinalgError> {
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        assert_eq!(x.len(), y.len(), "X and y length mismatch");
+        let y_mean = mean(y);
+        let y_std = std_dev(y).max(1e-9);
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let n = x.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&x[i], &x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += noise + 1e-8;
+        }
+        let chol = k.cholesky()?;
+        let z = chol.solve_lower(&ys);
+        let alpha = chol.solve_lower_transpose(&z);
+
+        // log marginal likelihood (standardized units).
+        let data_fit: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let log_det: f64 = (0..n).map(|i| chol[(i, i)].ln()).sum();
+        let lml = -0.5 * data_fit
+            - log_det
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(GpRegressor {
+            kernel,
+            noise,
+            x: x.to_vec(),
+            chol,
+            alpha,
+            y_mean,
+            y_std,
+            lml,
+        })
+    }
+
+    /// Fits a GP selecting length scale and noise by maximizing the log
+    /// marginal likelihood over a small grid — the pragmatic
+    /// hyperparameter treatment CherryPick-style tuners use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths mismatch.
+    pub fn fit_auto(x: &[Vec<f64>], y: &[f64], base: Kernel) -> Self {
+        let mut best: Option<GpRegressor> = None;
+        for &ls in &[0.1, 0.2, 0.4, 0.8, 1.6] {
+            for &noise in &[1e-4, 1e-2, 5e-2] {
+                if let Ok(gp) = GpRegressor::fit(x, y, base.with_length_scale(ls), noise) {
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| gp.lml > b.lml);
+                    if better {
+                        best = Some(gp);
+                    }
+                }
+            }
+        }
+        best.unwrap_or_else(|| {
+            // Fall back to a heavily-regularized fit, which cannot fail
+            // for sane inputs.
+            GpRegressor::fit(x, y, base.with_length_scale(1.0), 1.0)
+                .expect("regularized GP fit cannot fail")
+        })
+    }
+
+    /// Posterior predictive mean and standard deviation at `q`.
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = self.chol.solve_lower(&kstar);
+        let kss = self.kernel.eval(q, q) + self.noise;
+        let var = (kss - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (
+            mean_std * self.y_std + self.y_mean,
+            var.sqrt() * self.y_std,
+        )
+    }
+
+    /// The fit's log marginal likelihood (standardized-target units).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.lml
+    }
+
+    /// Number of training observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the training set is empty (never true for a fitted GP).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Expected improvement *below* `best` (minimization), from a posterior
+/// `(mean, std)`.
+pub fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * normal_cdf(z) + std * normal_pdf(z)
+}
+
+/// Lower confidence bound `mean − beta·std` (minimization).
+pub fn lower_confidence_bound(mean: f64, std: f64, beta: f64) -> f64 {
+    mean - beta * std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn gp_interpolates_training_points_with_low_noise() {
+        let x = grid_1d(6);
+        let y: Vec<f64> = x.iter().map(|v| (6.0 * v[0]).sin()).collect();
+        let gp = GpRegressor::fit(
+            &x,
+            &y,
+            Kernel::SquaredExp {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+            1e-6,
+        )
+        .unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, _) = gp.predict(xi);
+            assert!((m - yi).abs() < 1e-3, "at {xi:?}: {m} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.0], vec![0.1]];
+        let y = vec![1.0, 1.2];
+        let gp = GpRegressor::fit(
+            &x,
+            &y,
+            Kernel::Matern52 {
+                length_scale: 0.2,
+                variance: 1.0,
+            },
+            1e-6,
+        )
+        .unwrap();
+        let (_, s_near) = gp.predict(&[0.05]);
+        let (_, s_far) = gp.predict(&[0.9]);
+        assert!(s_far > 3.0 * s_near, "near {s_near}, far {s_far}");
+    }
+
+    #[test]
+    fn matern_and_se_agree_at_zero_distance() {
+        let se = Kernel::SquaredExp {
+            length_scale: 0.5,
+            variance: 2.0,
+        };
+        let m52 = Kernel::Matern52 {
+            length_scale: 0.5,
+            variance: 2.0,
+        };
+        let p = [0.3, 0.7];
+        assert!((se.eval(&p, &p) - 2.0).abs() < 1e-12);
+        assert!((m52.eval(&p, &p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_decay_with_distance() {
+        for k in [
+            Kernel::SquaredExp {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+            Kernel::Matern52 {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+            Kernel::Additive {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+        ] {
+            let near = k.eval(&[0.0, 0.0], &[0.05, 0.0]);
+            let far = k.eval(&[0.0, 0.0], &[0.9, 0.9]);
+            assert!(near > far, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn additive_kernel_sees_partial_match() {
+        // Points matching in one of two dims keep half the similarity;
+        // a product kernel (SE) would decay multiplicatively.
+        let add = Kernel::Additive {
+            length_scale: 0.1,
+            variance: 1.0,
+        };
+        let a = [0.0, 0.0];
+        let b = [0.0, 1.0]; // matches in dim 0 only
+        assert!(add.eval(&a, &b) > 0.45);
+    }
+
+    #[test]
+    fn fit_auto_picks_reasonable_model() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|v| v[0] * v[0]).collect();
+        let gp = GpRegressor::fit_auto(
+            &x,
+            &y,
+            Kernel::Matern52 {
+                length_scale: 1.0,
+                variance: 1.0,
+            },
+        );
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 0.25).abs() < 0.1, "predicted {m}");
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_uncertainty() {
+        let best = 1.0;
+        let certain_bad = expected_improvement(2.0, 0.01, best);
+        let uncertain_bad = expected_improvement(2.0, 2.0, best);
+        let certain_good = expected_improvement(0.5, 0.01, best);
+        assert!(uncertain_bad > certain_bad);
+        assert!(certain_good > certain_bad);
+        assert!(expected_improvement(0.5, 0.0, best) > 0.0);
+    }
+
+    #[test]
+    fn lcb_is_mean_minus_beta_std() {
+        assert!((lower_confidence_bound(1.0, 0.5, 2.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_with_noise_still_fit() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = GpRegressor::fit(
+            &x,
+            &y,
+            Kernel::SquaredExp {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+            1e-2,
+        )
+        .unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,263 @@
+//! CART regression trees — the model family behind Wang et al.'s Spark
+//! tuner (regression trees) and the building block of PARIS-style
+//! random forests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::stats::mean;
+
+/// Hyperparameters for tree induction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_leaf: usize,
+    /// Number of candidate features per split (`None` = all —
+    /// plain CART; `Some(m)` = random-subspace splits for forests).
+    pub feature_subsample: Option<usize>,
+    /// Maximum split thresholds evaluated per feature (quantile grid).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_leaf: 3,
+            feature_subsample: None,
+            max_thresholds: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split {
+        dim: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    root: Node,
+    dims: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths mismatch.
+    pub fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: TreeParams,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!x.is_empty(), "tree needs at least one sample");
+        assert_eq!(x.len(), y.len(), "X and y length mismatch");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let dims = x[0].len();
+        let root = build(x, y, &idx, params, params.max_depth, rng);
+        RegressionTree { root, dims }
+    }
+
+    /// Predicts the target at `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn predict(&self, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.dims, "query dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    dim,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if q[*dim] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Tree depth (leaves at depth 0 for a stump).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+fn build<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    params: TreeParams,
+    depth_left: usize,
+    rng: &mut R,
+) -> Node {
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+    let leaf_value = mean(&ys);
+    if depth_left == 0 || idx.len() < 2 * params.min_leaf {
+        return Node::Leaf(leaf_value);
+    }
+    let sse_before = sse(&ys, leaf_value);
+    if sse_before <= 1e-12 {
+        return Node::Leaf(leaf_value);
+    }
+
+    let dims = x[0].len();
+    let mut features: Vec<usize> = (0..dims).collect();
+    if let Some(m) = params.feature_subsample {
+        features.shuffle(rng);
+        features.truncate(m.clamp(1, dims));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (dim, threshold, sse)
+    for &dim in &features {
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][dim]).collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        let step = (vals.len() - 1).div_ceil(params.max_thresholds).max(1);
+        for w in (0..vals.len() - 1).step_by(step) {
+            let thr = 0.5 * (vals[w] + vals[w + 1]);
+            let (mut ls, mut lc, mut rs, mut rc) = (0.0, 0usize, 0.0, 0usize);
+            let (mut lss, mut rss) = (0.0, 0.0);
+            for &i in idx {
+                if x[i][dim] <= thr {
+                    ls += y[i];
+                    lss += y[i] * y[i];
+                    lc += 1;
+                } else {
+                    rs += y[i];
+                    rss += y[i] * y[i];
+                    rc += 1;
+                }
+            }
+            if lc < params.min_leaf || rc < params.min_leaf {
+                continue;
+            }
+            let split_sse =
+                (lss - ls * ls / lc as f64) + (rss - rs * rs / rc as f64);
+            if best.as_ref().is_none_or(|b| split_sse < b.2) {
+                best = Some((dim, thr, split_sse));
+            }
+        }
+    }
+
+    match best {
+        Some((dim, thr, split_sse)) if split_sse < sse_before - 1e-12 => {
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| x[i][dim] <= thr);
+            Node::Split {
+                dim,
+                threshold: thr,
+                left: Box::new(build(x, y, &li, params, depth_left - 1, rng)),
+                right: Box::new(build(x, y, &ri, params, depth_left - 1, rng)),
+            }
+        }
+        _ => Node::Leaf(leaf_value),
+    }
+}
+
+fn sse(ys: &[f64], m: f64) -> f64 {
+    ys.iter().map(|y| (y - m) * (y - m)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 0 for x<0.5, 10 for x>=0.5
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 0.0 } else { 10.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (x, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = RegressionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert!((t.predict(&[0.2]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[0.8]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_target_yields_stump() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 10];
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = RegressionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[99.0]), 3.0);
+    }
+
+    #[test]
+    fn splits_on_the_informative_dimension() {
+        // dim 0 is noise, dim 1 carries the signal.
+        let mut rng = StdRng::seed_from_u64(4);
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 7) as f64 / 7.0, (i % 2) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[1] * 5.0).collect();
+        let t = RegressionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert!((t.predict(&[0.3, 0.0]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[0.3, 1.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let (x, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                min_leaf: 25, // 40 samples can't split into two 25s
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(t.depth(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The simulated cloud instance catalog.
+//!
+//! A synthetic EC2-like offering: five families with distinct resource
+//! ratios (general-purpose `m5`, compute-optimized `c5`, memory-optimized
+//! `r5`, storage-dense `h1`, NVMe-IO `i3`) in four sizes. Absolute
+//! numbers are loosely modelled on the 2018-era EC2 catalog the paper's
+//! experiments ran on (their Table I testbed is 4 × `h1.4xlarge`); what
+//! matters for reproduction is the *relative* structure: heterogeneous
+//! CPU:memory:disk:network ratios and linear-ish pricing, which create
+//! the family/size trade-offs cloud-configuration tuners must navigate.
+
+use serde::{Deserialize, Serialize};
+
+/// One rentable VM type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// Family name, e.g. `"h1"`.
+    pub family: String,
+    /// Size name, e.g. `"4xlarge"`.
+    pub size: String,
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// Memory in MiB.
+    pub mem_mb: u64,
+    /// Aggregate local-disk bandwidth in MB/s.
+    pub disk_mbps: f64,
+    /// Network bandwidth in MB/s.
+    pub net_mbps: f64,
+    /// Relative single-core speed (1.0 = `m5` baseline).
+    pub cpu_speed: f64,
+    /// On-demand price in USD per hour.
+    pub price_per_hour: f64,
+}
+
+impl InstanceType {
+    /// Canonical `family.size` name, e.g. `"h1.4xlarge"`.
+    pub fn name(&self) -> String {
+        format!("{}.{}", self.family, self.size)
+    }
+}
+
+impl std::fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.family, self.size)
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // a row constructor for the table below
+fn inst(
+    family: &str,
+    size: &str,
+    vcpus: u32,
+    mem_gb: u64,
+    disk_mbps: f64,
+    net_mbps: f64,
+    cpu_speed: f64,
+    price: f64,
+) -> InstanceType {
+    InstanceType {
+        family: family.to_owned(),
+        size: size.to_owned(),
+        vcpus,
+        mem_mb: mem_gb * 1024,
+        disk_mbps,
+        net_mbps,
+        cpu_speed,
+        price_per_hour: price,
+    }
+}
+
+/// Returns the full catalog (19 instance types; `h1` has no `large`).
+pub fn all_instances() -> Vec<InstanceType> {
+    vec![
+        // m5 — general purpose: 4 GiB/vCPU, EBS-class disk.
+        inst("m5", "large", 2, 8, 65.0, 95.0, 1.0, 0.096),
+        inst("m5", "xlarge", 4, 16, 110.0, 155.0, 1.0, 0.192),
+        inst("m5", "2xlarge", 8, 32, 180.0, 310.0, 1.0, 0.384),
+        inst("m5", "4xlarge", 16, 64, 290.0, 590.0, 1.0, 0.768),
+        // c5 — compute optimized: 2 GiB/vCPU, ~35% faster cores.
+        inst("c5", "large", 2, 4, 65.0, 95.0, 1.35, 0.085),
+        inst("c5", "xlarge", 4, 8, 110.0, 155.0, 1.35, 0.17),
+        inst("c5", "2xlarge", 8, 16, 180.0, 310.0, 1.35, 0.34),
+        inst("c5", "4xlarge", 16, 32, 290.0, 590.0, 1.35, 0.68),
+        // r5 — memory optimized: 8 GiB/vCPU.
+        inst("r5", "large", 2, 16, 65.0, 95.0, 1.0, 0.126),
+        inst("r5", "xlarge", 4, 32, 110.0, 155.0, 1.0, 0.252),
+        inst("r5", "2xlarge", 8, 64, 180.0, 310.0, 1.0, 0.504),
+        inst("r5", "4xlarge", 16, 128, 290.0, 590.0, 1.0, 1.008),
+        // h1 — storage dense: HDD arrays with very high sequential
+        // throughput (the paper's Table I testbed).
+        inst("h1", "xlarge", 4, 16, 600.0, 155.0, 0.95, 0.234),
+        inst("h1", "2xlarge", 8, 32, 1100.0, 310.0, 0.95, 0.468),
+        inst("h1", "4xlarge", 16, 64, 1900.0, 590.0, 0.95, 0.936),
+        // i3 — NVMe IO: fast random IO, memory-heavy.
+        inst("i3", "large", 2, 16, 450.0, 95.0, 1.05, 0.156),
+        inst("i3", "xlarge", 4, 32, 850.0, 155.0, 1.05, 0.312),
+        inst("i3", "2xlarge", 8, 64, 1500.0, 310.0, 1.05, 0.624),
+        inst("i3", "4xlarge", 16, 128, 2600.0, 590.0, 1.05, 1.248),
+    ]
+}
+
+/// Looks up an instance type by family and size.
+pub fn lookup(family: &str, size: &str) -> Option<InstanceType> {
+    all_instances()
+        .into_iter()
+        .find(|i| i.family == family && i.size == size)
+}
+
+/// The paper's Table I testbed node type, `h1.4xlarge`.
+pub fn h1_4xlarge() -> InstanceType {
+    lookup("h1", "4xlarge").expect("h1.4xlarge is in the catalog")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        let all = all_instances();
+        assert_eq!(all.len(), 19);
+        for family in ["m5", "c5", "r5", "i3"] {
+            for size in ["large", "xlarge", "2xlarge", "4xlarge"] {
+                assert!(
+                    lookup(family, size).is_some(),
+                    "missing {family}.{size}"
+                );
+            }
+        }
+        assert!(lookup("h1", "large").is_none());
+        assert!(lookup("h1", "4xlarge").is_some());
+    }
+
+    #[test]
+    fn prices_scale_roughly_linearly_with_size() {
+        for family in ["m5", "c5", "r5", "i3"] {
+            let large = lookup(family, "large").unwrap();
+            let x4 = lookup(family, "4xlarge").unwrap();
+            let ratio = x4.price_per_hour / large.price_per_hour;
+            assert!((7.0..=9.0).contains(&ratio), "{family}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn families_have_distinct_ratios() {
+        let m5 = lookup("m5", "xlarge").unwrap();
+        let c5 = lookup("c5", "xlarge").unwrap();
+        let r5 = lookup("r5", "xlarge").unwrap();
+        let h1 = lookup("h1", "xlarge").unwrap();
+        assert!(c5.mem_mb < m5.mem_mb && m5.mem_mb < r5.mem_mb);
+        assert!(c5.cpu_speed > m5.cpu_speed);
+        assert!(h1.disk_mbps > 3.0 * m5.disk_mbps);
+    }
+
+    #[test]
+    fn testbed_matches_paper() {
+        let t = h1_4xlarge();
+        assert_eq!(t.vcpus, 16);
+        assert_eq!(t.mem_mb, 64 * 1024);
+        assert_eq!(t.name(), "h1.4xlarge");
+    }
+}

@@ -1,0 +1,295 @@
+//! Job specifications: DAGs of stages, the physical execution plan of
+//! §III-A / Fig. 2 of the paper (job → stages → tasks over partitions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Identifier of a stage within a job (its index in [`JobSpec::stages`]).
+pub type StageId = usize;
+
+/// How a stage's task count is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// Input stage: one task per input block of the given size (MB) —
+    /// Spark derives map-task counts from HDFS/S3 splits.
+    InputBlocks {
+        /// Split size in MB (128 for HDFS-style splits).
+        block_mb: f64,
+    },
+    /// Task count follows `spark.default.parallelism`.
+    DefaultParallelism,
+    /// Task count follows `spark.sql.shuffle.partitions`.
+    ShufflePartitions,
+}
+
+/// What a stage reads from a cached RDD produced by an earlier stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachedRead {
+    /// The stage whose cached output is read.
+    pub source: StageId,
+    /// Volume read (MB, uncompressed logical bytes).
+    pub mb: f64,
+}
+
+/// One stage of the physical plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Human-readable name (e.g. `"pagerank-iter-3-join"`).
+    pub name: String,
+    /// Stages that must complete first (shuffle or narrow deps).
+    pub deps: Vec<StageId>,
+    /// How many tasks the stage runs.
+    pub partitioning: Partitioning,
+    /// Data read from stable storage (MB).
+    pub input_mb: f64,
+    /// Data fetched from parent stages' shuffle outputs (MB, logical).
+    pub shuffle_read_mb: f64,
+    /// Data written as shuffle output for children (MB, logical).
+    pub shuffle_write_mb: f64,
+    /// Final output written to stable storage (MB).
+    pub output_mb: f64,
+    /// CPU work per MB of data processed (seconds per MB on an m5 core).
+    pub cpu_s_per_mb: f64,
+    /// Peak working set per MB of per-task input (hash tables, sort
+    /// buffers). 1.0 means streaming; sorts/joins are 2–4.
+    pub mem_expansion: f64,
+    /// Whether this stage's output RDD is cached for later stages.
+    pub cache_output: bool,
+    /// Read from a cached RDD (iterative workloads).
+    pub cached_read: Option<CachedRead>,
+    /// Task-size skew: 0 = perfectly even partitions; 1 ≈ heavy skew
+    /// (Zipf-like key distribution).
+    pub skew: f64,
+}
+
+impl StageSpec {
+    /// Creates a minimal map-style stage reading `input_mb` from storage.
+    pub fn input(name: &str, input_mb: f64, cpu_s_per_mb: f64) -> Self {
+        StageSpec {
+            name: name.to_owned(),
+            deps: Vec::new(),
+            partitioning: Partitioning::InputBlocks { block_mb: 128.0 },
+            input_mb,
+            shuffle_read_mb: 0.0,
+            shuffle_write_mb: 0.0,
+            output_mb: 0.0,
+            cpu_s_per_mb,
+            mem_expansion: 1.0,
+            cache_output: false,
+            cached_read: None,
+            skew: 0.0,
+        }
+    }
+
+    /// Creates a reduce-style stage fetching `shuffle_read_mb` from `deps`.
+    pub fn reduce(name: &str, deps: Vec<StageId>, shuffle_read_mb: f64, cpu_s_per_mb: f64) -> Self {
+        StageSpec {
+            name: name.to_owned(),
+            deps,
+            partitioning: Partitioning::DefaultParallelism,
+            input_mb: 0.0,
+            shuffle_read_mb,
+            shuffle_write_mb: 0.0,
+            output_mb: 0.0,
+            cpu_s_per_mb,
+            mem_expansion: 1.5,
+            cache_output: false,
+            cached_read: None,
+            skew: 0.0,
+        }
+    }
+
+    /// Sets the shuffle output volume (builder style).
+    #[must_use]
+    pub fn writes_shuffle(mut self, mb: f64) -> Self {
+        self.shuffle_write_mb = mb;
+        self
+    }
+
+    /// Sets the stable-storage output volume (builder style).
+    #[must_use]
+    pub fn writes_output(mut self, mb: f64) -> Self {
+        self.output_mb = mb;
+        self
+    }
+
+    /// Marks the stage's output as cached (builder style).
+    #[must_use]
+    pub fn cached(mut self) -> Self {
+        self.cache_output = true;
+        self
+    }
+
+    /// Declares a cached-RDD read (builder style).
+    #[must_use]
+    pub fn reads_cached(mut self, source: StageId, mb: f64) -> Self {
+        self.cached_read = Some(CachedRead { source, mb });
+        self
+    }
+
+    /// Sets the memory expansion factor (builder style).
+    #[must_use]
+    pub fn with_mem_expansion(mut self, f: f64) -> Self {
+        self.mem_expansion = f;
+        self
+    }
+
+    /// Sets the skew factor (builder style).
+    #[must_use]
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Sets the partitioning rule (builder style).
+    #[must_use]
+    pub fn with_partitioning(mut self, p: Partitioning) -> Self {
+        self.partitioning = p;
+        self
+    }
+
+    /// Total logical bytes this stage processes (MB).
+    pub fn data_mb(&self) -> f64 {
+        self.input_mb
+            + self.shuffle_read_mb
+            + self.cached_read.map_or(0.0, |c| c.mb)
+    }
+}
+
+/// A job: a named DAG of stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job name (workload + scale, e.g. `"pagerank@DS2"`).
+    pub name: String,
+    /// The stages, in an order consistent with their dependencies.
+    pub stages: Vec<StageSpec>,
+}
+
+impl JobSpec {
+    /// Creates a job from stages.
+    pub fn new(name: &str, stages: Vec<StageSpec>) -> Self {
+        JobSpec {
+            name: name.to_owned(),
+            stages,
+        }
+    }
+
+    /// Validates the DAG: dependency indices in range and strictly
+    /// less than the dependent stage (topological storage order), and
+    /// cached reads referencing caching stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedDag`] describing the first problem.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (i, s) in self.stages.iter().enumerate() {
+            for &d in &s.deps {
+                if d >= i {
+                    return Err(SimError::MalformedDag(format!(
+                        "stage {i} `{}` depends on later/self stage {d}",
+                        s.name
+                    )));
+                }
+            }
+            if let Some(c) = s.cached_read {
+                if c.source >= i {
+                    return Err(SimError::MalformedDag(format!(
+                        "stage {i} `{}` reads cache of later/self stage {}",
+                        s.name, c.source
+                    )));
+                }
+                if !self.stages[c.source].cache_output {
+                    return Err(SimError::MalformedDag(format!(
+                        "stage {i} `{}` reads cache of stage {} which does not cache",
+                        s.name, c.source
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes read from stable storage (MB).
+    pub fn total_input_mb(&self) -> f64 {
+        self.stages.iter().map(|s| s.input_mb).sum()
+    }
+
+    /// Total logical shuffle volume (MB).
+    pub fn total_shuffle_mb(&self) -> f64 {
+        self.stages.iter().map(|s| s.shuffle_read_mb).sum()
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage_job() -> JobSpec {
+        JobSpec::new(
+            "wc",
+            vec![
+                StageSpec::input("map", 1024.0, 0.01).writes_shuffle(100.0),
+                StageSpec::reduce("reduce", vec![0], 100.0, 0.005).writes_output(10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_dag_passes() {
+        assert!(two_stage_job().validate().is_ok());
+    }
+
+    #[test]
+    fn forward_dep_is_rejected() {
+        let mut j = two_stage_job();
+        j.stages[0].deps = vec![1];
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn self_dep_is_rejected() {
+        let mut j = two_stage_job();
+        j.stages[1].deps = vec![1];
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn cached_read_must_reference_caching_stage() {
+        let j = JobSpec::new(
+            "bad",
+            vec![
+                StageSpec::input("a", 10.0, 0.01),
+                StageSpec::reduce("b", vec![0], 0.0, 0.01).reads_cached(0, 10.0),
+            ],
+        );
+        assert!(j.validate().is_err());
+        let j = JobSpec::new(
+            "good",
+            vec![
+                StageSpec::input("a", 10.0, 0.01).cached(),
+                StageSpec::reduce("b", vec![0], 0.0, 0.01).reads_cached(0, 10.0),
+            ],
+        );
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn totals() {
+        let j = two_stage_job();
+        assert_eq!(j.total_input_mb(), 1024.0);
+        assert_eq!(j.total_shuffle_mb(), 100.0);
+        assert_eq!(j.num_stages(), 2);
+    }
+
+    #[test]
+    fn data_mb_includes_cache() {
+        let s = StageSpec::reduce("r", vec![0], 50.0, 0.01).reads_cached(0, 25.0);
+        assert_eq!(s.data_mb(), 75.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulator error and failure types.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing a simulation (before any task runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The requested instance family/size is not in the catalog.
+    UnknownInstance(String),
+    /// The job's stage DAG is malformed (cycle or dangling dependency).
+    MalformedDag(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownInstance(n) => write!(f, "unknown instance type `{n}`"),
+            SimError::MalformedDag(m) => write!(f, "malformed stage DAG: {m}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Ways a simulated execution can fail — mirroring the "expensive failed
+/// test execution" / crash modes §IV of the paper describes for
+/// misconfigured deployments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The executor layout cannot be allocated on the cluster at all
+    /// (an executor's memory or cores exceed a single node's).
+    LaunchFailure {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The driver ran out of memory tracking tasks/results.
+    DriverOom,
+    /// A stage's tasks kept failing with OOM after all retry attempts.
+    ExecutorOomLoop {
+        /// Stage that failed.
+        stage: String,
+    },
+    /// Repeated shuffle-fetch timeouts aborted the job.
+    FetchTimeout {
+        /// Stage that failed.
+        stage: String,
+    },
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::LaunchFailure { reason } => write!(f, "launch failure: {reason}"),
+            FailureKind::DriverOom => write!(f, "driver out of memory"),
+            FailureKind::ExecutorOomLoop { stage } => {
+                write!(f, "stage `{stage}` aborted: executor OOM retry loop")
+            }
+            FailureKind::FetchTimeout { stage } => {
+                write!(f, "stage `{stage}` aborted: shuffle fetch timeouts")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::UnknownInstance("x.large".into());
+        assert!(e.to_string().contains("x.large"));
+        let f = FailureKind::ExecutorOomLoop {
+            stage: "reduce".into(),
+        };
+        assert!(f.to_string().contains("reduce"));
+    }
+}

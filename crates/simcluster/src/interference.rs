@@ -1,0 +1,144 @@
+//! Co-location interference: a two-state (calm/bursty) contention
+//! process, temporally correlated across stages — the "transient
+//! co-location with other resource-intensive workloads" of §II-A that
+//! biases one-shot cloud-configuration measurements.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the interference process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Multiplier applied to task IO/network/CPU time while a burst is
+    /// active (1.0 = no effect; 1.8 = heavy neighbours).
+    pub burst_slowdown: f64,
+    /// Probability of entering a burst at each stage boundary.
+    pub p_enter: f64,
+    /// Probability of leaving a burst at each stage boundary.
+    pub p_exit: f64,
+}
+
+impl InterferenceModel {
+    /// No interference at all (dedicated hardware).
+    pub fn none() -> Self {
+        InterferenceModel {
+            burst_slowdown: 1.0,
+            p_enter: 0.0,
+            p_exit: 1.0,
+        }
+    }
+
+    /// A lightly-shared cloud: occasional mild contention.
+    pub fn light() -> Self {
+        InterferenceModel {
+            burst_slowdown: 1.15,
+            p_enter: 0.08,
+            p_exit: 0.5,
+        }
+    }
+
+    /// A heavily-shared cloud: frequent strong contention bursts.
+    pub fn heavy() -> Self {
+        InterferenceModel {
+            burst_slowdown: 1.8,
+            p_enter: 0.25,
+            p_exit: 0.3,
+        }
+    }
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        Self::light()
+    }
+}
+
+/// The evolving state of the interference process during one run.
+#[derive(Debug, Clone)]
+pub struct InterferenceState {
+    model: InterferenceModel,
+    bursting: bool,
+}
+
+impl InterferenceState {
+    /// Starts the process in the calm state.
+    pub fn new(model: InterferenceModel) -> Self {
+        InterferenceState {
+            model,
+            bursting: false,
+        }
+    }
+
+    /// Advances the state machine one stage boundary and returns the
+    /// contention multiplier for the next stage.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.bursting {
+            if rng.gen::<f64>() < self.model.p_exit {
+                self.bursting = false;
+            }
+        } else if rng.gen::<f64>() < self.model.p_enter {
+            self.bursting = true;
+        }
+        if self.bursting {
+            // Jitter the burst strength a little so bursts differ.
+            let jitter = 0.9 + 0.2 * rng.gen::<f64>();
+            1.0 + (self.model.burst_slowdown - 1.0) * jitter
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether a burst is currently active.
+    pub fn is_bursting(&self) -> bool {
+        self.bursting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_bursts() {
+        let mut st = InterferenceState::new(InterferenceModel::none());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(st.step(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn heavy_bursts_often_and_slows_down() {
+        let mut st = InterferenceState::new(InterferenceModel::heavy());
+        let mut rng = StdRng::seed_from_u64(2);
+        let factors: Vec<f64> = (0..2000).map(|_| st.step(&mut rng)).collect();
+        let bursty = factors.iter().filter(|&&f| f > 1.0).count();
+        assert!(bursty > 400, "expected frequent bursts, got {bursty}/2000");
+        assert!(factors.iter().all(|&f| f >= 1.0 && f <= 2.0));
+    }
+
+    #[test]
+    fn bursts_are_temporally_correlated() {
+        // With p_exit = 0.3 a burst should persist ~3.3 stages on average;
+        // count transitions to verify correlation (not i.i.d.).
+        let mut st = InterferenceState::new(InterferenceModel::heavy());
+        let mut rng = StdRng::seed_from_u64(3);
+        let states: Vec<bool> = (0..5000)
+            .map(|_| {
+                st.step(&mut rng);
+                st.is_bursting()
+            })
+            .collect();
+        let transitions = states.windows(2).filter(|w| w[0] != w[1]).count();
+        let bursting = states.iter().filter(|&&b| b).count();
+        // i.i.d. with the same marginal would transition ~2·p·(1-p)·n times.
+        let p = bursting as f64 / states.len() as f64;
+        let iid_transitions = 2.0 * p * (1.0 - p) * states.len() as f64;
+        assert!(
+            (transitions as f64) < 0.8 * iid_transitions,
+            "transitions {transitions} vs iid {iid_transitions:.0}"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Behavioural tests: every tunable knob must influence the simulator
+//! in the direction its real Spark counterpart does. These are the
+//! contracts the response surface is built from — if one breaks, the
+//! tuning experiments stop meaning anything.
+
+use confspace::spark::{names as sp, spark_space};
+use confspace::Configuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcluster::{ClusterSpec, JobSpec, Partitioning, Simulator, SparkEnv, StageSpec};
+
+fn base_cfg() -> Configuration {
+    spark_space()
+        .default_configuration()
+        .with(sp::EXECUTOR_INSTANCES, 8i64)
+        .with(sp::EXECUTOR_CORES, 2i64)
+        .with(sp::EXECUTOR_MEMORY_MB, 6144i64)
+        .with(sp::DEFAULT_PARALLELISM, 64i64)
+}
+
+/// Mean runtime over several seeds for a (cfg, job) pair on the testbed.
+fn runtime(cfg: &Configuration, job: &JobSpec) -> f64 {
+    let cluster = ClusterSpec::table1_testbed();
+    let env = SparkEnv::resolve(&cluster, cfg).expect("layout fits");
+    let sim = Simulator::dedicated();
+    let mut total = 0.0;
+    let n = 5;
+    for seed in 0..n {
+        total += sim
+            .run(&env, job, &mut StdRng::seed_from_u64(seed))
+            .expect("no crash")
+            .runtime_s;
+    }
+    total / n as f64
+}
+
+fn shuffle_heavy_job() -> JobSpec {
+    JobSpec::new(
+        "shuffleheavy",
+        vec![
+            StageSpec::input("m", 4096.0, 0.003).writes_shuffle(4096.0),
+            StageSpec::reduce("r", vec![0], 4096.0, 0.003)
+                .with_partitioning(Partitioning::DefaultParallelism),
+        ],
+    )
+}
+
+fn skewed_job() -> JobSpec {
+    JobSpec::new(
+        "skewed",
+        vec![StageSpec::input("m", 4096.0, 0.01).with_skew(0.8)],
+    )
+}
+
+#[test]
+fn speculation_tames_stragglers_on_skewed_stages() {
+    let job = skewed_job();
+    let off = base_cfg().with(sp::SPECULATION, false);
+    let on = base_cfg()
+        .with(sp::SPECULATION, true)
+        .with(sp::SPECULATION_QUANTILE, 0.6)
+        .with(sp::SPECULATION_MULTIPLIER, 1.3);
+    // Average over many seeds: speculation caps straggled tasks.
+    let cluster = ClusterSpec::table1_testbed();
+    let sim = Simulator::dedicated();
+    let mean = |cfg: &Configuration| -> f64 {
+        let env = SparkEnv::resolve(&cluster, cfg).expect("fits");
+        (0..30)
+            .map(|s| {
+                sim.run(&env, &job, &mut StdRng::seed_from_u64(s))
+                    .expect("ok")
+                    .runtime_s
+            })
+            .sum::<f64>()
+            / 30.0
+    };
+    assert!(
+        mean(&on) <= mean(&off) * 1.02,
+        "speculation should not hurt skewed stages: on {} vs off {}",
+        mean(&on),
+        mean(&off)
+    );
+}
+
+#[test]
+fn locality_wait_reduces_remote_reads_with_few_executors() {
+    // 2 executors on 4 nodes: half the input blocks are remote unless
+    // the scheduler waits for local slots.
+    let job = JobSpec::new(
+        "scan",
+        vec![StageSpec::input("m", 8192.0, 0.004)],
+    );
+    let impatient = base_cfg()
+        .with(sp::EXECUTOR_INSTANCES, 2i64)
+        .with(sp::LOCALITY_WAIT_MS, 0i64);
+    let patient = base_cfg()
+        .with(sp::EXECUTOR_INSTANCES, 2i64)
+        .with(sp::LOCALITY_WAIT_MS, 10000i64);
+    assert!(
+        runtime(&patient, &job) < runtime(&impatient, &job),
+        "locality wait should pay off on h1 (disk >> network)"
+    );
+}
+
+#[test]
+fn bypass_merge_helps_small_reduce_counts() {
+    // Few reduce partitions: the bypass path (no sort) should win.
+    let job = shuffle_heavy_job();
+    let low_parallelism = base_cfg().with(sp::DEFAULT_PARALLELISM, 32i64);
+    let bypass_on = low_parallelism
+        .clone()
+        .with(sp::SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD, 200i64);
+    let bypass_off = low_parallelism.with(sp::SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD, 0i64);
+    assert!(
+        runtime(&bypass_on, &job) < runtime(&bypass_off, &job),
+        "bypassing the merge sort should help at 32 partitions"
+    );
+}
+
+#[test]
+fn more_in_flight_fetch_reduces_shuffle_waves() {
+    let job = shuffle_heavy_job();
+    let small = base_cfg().with(sp::REDUCER_MAX_SIZE_IN_FLIGHT_MB, 8i64);
+    let large = base_cfg().with(sp::REDUCER_MAX_SIZE_IN_FLIGHT_MB, 192i64);
+    assert!(
+        runtime(&large, &job) < runtime(&small, &job),
+        "larger in-flight windows should cut fetch latency"
+    );
+}
+
+#[test]
+fn tiny_shuffle_buffers_cost_flushes() {
+    let job = shuffle_heavy_job();
+    let tiny = base_cfg().with(sp::SHUFFLE_FILE_BUFFER_KB, 16i64);
+    let roomy = base_cfg().with(sp::SHUFFLE_FILE_BUFFER_KB, 512i64);
+    assert!(runtime(&roomy, &job) <= runtime(&tiny, &job));
+}
+
+#[test]
+fn fair_scheduler_adds_small_overhead() {
+    let job = shuffle_heavy_job();
+    let fifo = base_cfg().with(sp::SCHEDULER_MODE, "FIFO");
+    let fair = base_cfg().with(sp::SCHEDULER_MODE, "FAIR");
+    let (tf, ta) = (runtime(&fifo, &job), runtime(&fair, &job));
+    assert!(ta >= tf * 0.99, "FAIR should not be faster: {ta} vs {tf}");
+    assert!(ta <= tf * 1.2, "FAIR overhead must stay small: {ta} vs {tf}");
+}
+
+#[test]
+fn zstd_trades_cpu_for_bytes_against_lz4() {
+    // On a network-bound shuffle, zstd's better ratio should not lose
+    // badly; the interesting contract is that the codec knob moves the
+    // net/ser balance, which the metrics expose.
+    let job = shuffle_heavy_job();
+    let cluster = ClusterSpec::table1_testbed();
+    let measure = |codec: &str| {
+        let cfg = base_cfg().with(sp::IO_COMPRESSION_CODEC, codec);
+        let env = SparkEnv::resolve(&cluster, &cfg).expect("fits");
+        let r = Simulator::dedicated()
+            .run(&env, &job, &mut StdRng::seed_from_u64(3))
+            .expect("ok");
+        let net: f64 = r.metrics.stages.iter().map(|s| s.net_s).sum();
+        let ser: f64 = r.metrics.stages.iter().map(|s| s.ser_s).sum();
+        (net, ser)
+    };
+    let (net_lz4, ser_lz4) = measure("lz4");
+    let (net_zstd, ser_zstd) = measure("zstd");
+    assert!(net_zstd < net_lz4, "zstd ships fewer bytes");
+    assert!(ser_zstd > ser_lz4, "zstd burns more (de)compression CPU");
+}
+
+#[test]
+fn dynamic_allocation_is_roughly_neutral_for_steady_jobs() {
+    let job = shuffle_heavy_job();
+    let on = base_cfg().with(sp::DYNAMIC_ALLOCATION, true);
+    let off = base_cfg().with(sp::DYNAMIC_ALLOCATION, false);
+    let (a, b) = (runtime(&on, &job), runtime(&off, &job));
+    assert!(
+        (a / b - 1.0).abs() < 0.35,
+        "dynamic allocation should be mild on steady jobs: {a} vs {b}"
+    );
+}
+
+#[test]
+fn executor_memory_relieves_spill_on_sort() {
+    let job = JobSpec::new(
+        "bigsort",
+        vec![
+            StageSpec::input("m", 8192.0, 0.003).writes_shuffle(8192.0),
+            StageSpec::reduce("sort", vec![0], 8192.0, 0.004)
+                .with_mem_expansion(2.5)
+                .with_partitioning(Partitioning::DefaultParallelism),
+        ],
+    );
+    // Low parallelism concentrates each task's working set.
+    let cramped = base_cfg()
+        .with(sp::EXECUTOR_MEMORY_MB, 1536i64)
+        .with(sp::DEFAULT_PARALLELISM, 16i64);
+    let roomy = base_cfg()
+        .with(sp::EXECUTOR_MEMORY_MB, 12288i64)
+        .with(sp::DEFAULT_PARALLELISM, 16i64);
+    let cluster = ClusterSpec::table1_testbed();
+    let sim = Simulator::dedicated();
+    let spill = |cfg: &Configuration| {
+        let env = SparkEnv::resolve(&cluster, cfg).expect("fits");
+        sim.run(&env, &job, &mut StdRng::seed_from_u64(4))
+            .expect("ok")
+            .metrics
+            .spill_mb
+    };
+    assert!(
+        spill(&cramped) > spill(&roomy),
+        "bigger executors must spill less"
+    );
+}
+
+#[test]
+fn oversubscribed_cores_slow_cpu_bound_work() {
+    let job = JobSpec::new(
+        "cpu",
+        vec![StageSpec::input("m", 4096.0, 0.03)],
+    );
+    // 8 executors x 2 cores = 16 slots on 64 vCPUs (fine) vs
+    // 8 executors x 16 cores = 128 slots on 64 vCPUs (2x oversubscribed).
+    let fine = base_cfg();
+    let oversub = base_cfg().with(sp::EXECUTOR_CORES, 16i64);
+    let (a, b) = (runtime(&fine, &job), runtime(&oversub, &job));
+    // Oversubscription adds contention; per-slot throughput drops, and
+    // for CPU-bound scans the wall-clock should not improve much.
+    assert!(
+        b > a * 0.5,
+        "2x oversubscription cannot double throughput: fine {a}, oversub {b}"
+    );
+}

@@ -1,0 +1,102 @@
+//! Naive-Bayes classifier training: CPU-heavy tokenization with
+//! moderate shuffle and a cached feature matrix.
+//!
+//! Sits between Wordcount and Pagerank in configuration sensitivity:
+//! the tokenize/vectorize pass is compute-bound (serializer and codec
+//! choices matter), per-class aggregation shuffles ~20% of the input,
+//! and the cached TF vector gives mild memory sensitivity — matching
+//! Table I's middle column (17–25% re-tuning savings).
+
+use simcluster::{JobSpec, Partitioning, StageSpec};
+
+use crate::scale::DataScale;
+use crate::Workload;
+
+/// The Naive-Bayes training workload.
+#[derive(Debug, Clone)]
+pub struct BayesClassifier {
+    /// Fraction of input volume shuffled as term-class counts.
+    pub shuffle_ratio: f64,
+}
+
+impl Default for BayesClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BayesClassifier {
+    /// Standard HiBench-like Bayes training.
+    pub fn new() -> Self {
+        BayesClassifier {
+            shuffle_ratio: 0.20,
+        }
+    }
+}
+
+impl Workload for BayesClassifier {
+    fn name(&self) -> &str {
+        "bayes"
+    }
+
+    fn job(&self, scale: DataScale) -> JobSpec {
+        let input = scale.input_mb();
+        let counts = input * self.shuffle_ratio;
+        JobSpec::new(
+            &format!("bayes@{}", scale.label()),
+            vec![
+                // Tokenize + vectorize: CPU heavy, caches the TF matrix.
+                StageSpec::input("nb-tokenize", input, 0.022)
+                    .cached()
+                    .writes_output(input * 0.3)
+                    .writes_shuffle(counts)
+                    .with_mem_expansion(1.5)
+                    .with_skew(0.2)
+                    .with_partitioning(Partitioning::InputBlocks { block_mb: 64.0 }),
+                // Aggregate term-class counts.
+                StageSpec::reduce("nb-aggregate", vec![0], counts, 0.010)
+                    .writes_shuffle(counts * 0.3)
+                    .with_mem_expansion(1.8)
+                    .with_skew(0.25),
+                // Model estimation over the cached TF matrix.
+                StageSpec::reduce("nb-estimate", vec![1], counts * 0.3, 0.014)
+                    .reads_cached(0, input * 0.3)
+                    .with_mem_expansion(1.6)
+                    .with_skew(0.15),
+                // Write the model.
+                StageSpec::reduce("nb-model", vec![2], counts * 0.05, 0.004)
+                    .writes_output(counts * 0.05)
+                    .with_mem_expansion(1.1),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_stage_pipeline() {
+        let j = BayesClassifier::new().job(DataScale::Ds1);
+        assert_eq!(j.num_stages(), 4);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn tokenize_is_cpu_heaviest() {
+        let j = BayesClassifier::new().job(DataScale::Ds1);
+        let tok = &j.stages[0];
+        assert!(j
+            .stages
+            .iter()
+            .all(|s| s.cpu_s_per_mb <= tok.cpu_s_per_mb));
+    }
+
+    #[test]
+    fn shuffle_is_moderate() {
+        let j = BayesClassifier::new().job(DataScale::Ds2);
+        let ratio = j.total_shuffle_mb() / j.total_input_mb();
+        assert!((0.1..0.5).contains(&ratio), "ratio {ratio}");
+    }
+}

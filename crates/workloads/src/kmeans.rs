@@ -1,0 +1,101 @@
+//! K-means clustering: iterative and CPU-bound over a cached dataset.
+//!
+//! Each iteration maps over the cached point set (heavy floating-point
+//! work per MB) and shuffles only tiny centroid updates. Configuration
+//! sensitivity comes almost entirely from CPU-side knobs (executor
+//! layout vs. vCPUs) and from whether the points stay cached — a
+//! different sensitivity *profile* from Pagerank, useful for the
+//! workload-similarity experiments (§V-B).
+
+use simcluster::{JobSpec, StageSpec};
+
+use crate::scale::DataScale;
+use crate::Workload;
+
+/// The K-means workload.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of Lloyd iterations.
+    pub iterations: usize,
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KMeans {
+    /// Standard HiBench-like K-means: 8 iterations.
+    pub fn new() -> Self {
+        KMeans { iterations: 8 }
+    }
+
+    /// A variant with a custom iteration count.
+    pub fn with_iterations(iterations: usize) -> Self {
+        KMeans {
+            iterations: iterations.max(1),
+        }
+    }
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> &str {
+        "kmeans"
+    }
+
+    fn job(&self, scale: DataScale) -> JobSpec {
+        let input = scale.input_mb();
+        let centroid_update = (input * 0.001).max(0.5);
+        let mut stages = vec![
+            // Load + parse points, cache them.
+            StageSpec::input("km-load", input, 0.006)
+                .cached()
+                .writes_output(input)
+                .with_mem_expansion(1.3),
+        ];
+        let mut prev = 0usize;
+        for i in 0..self.iterations {
+            let assign = StageSpec::reduce(
+                &format!("km-iter{}-assign", i + 1),
+                vec![prev],
+                centroid_update,
+                0.030,
+            )
+            .reads_cached(0, input)
+            .writes_shuffle(centroid_update)
+            .with_mem_expansion(1.2);
+            stages.push(assign);
+            prev = stages.len() - 1;
+        }
+        stages.push(
+            StageSpec::reduce("km-output", vec![prev], centroid_update, 0.002)
+                .writes_output(centroid_update),
+        );
+        JobSpec::new(&format!("kmeans@{}", scale.label()), stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_shape() {
+        let j = KMeans::with_iterations(4).job(DataScale::Tiny);
+        assert_eq!(j.num_stages(), 6);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn shuffle_is_negligible() {
+        let j = KMeans::new().job(DataScale::Ds2);
+        assert!(j.total_shuffle_mb() < 0.01 * j.total_input_mb());
+    }
+
+    #[test]
+    fn iterations_are_compute_heavy() {
+        let j = KMeans::new().job(DataScale::Ds1);
+        assert!(j.stages[1].cpu_s_per_mb > 0.02);
+    }
+}

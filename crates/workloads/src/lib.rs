@@ -1,0 +1,96 @@
+//! HiBench-like analytics workloads as DAG generators.
+//!
+//! The paper's Table I experiments use three workloads from "a popular
+//! big data benchmark" (HiBench \[20\]): **Pagerank**, **Bayes
+//! classifier** and **Wordcount**, each at three evolving input sizes
+//! DS1 < DS2 < DS3. This crate models those three plus **Terasort**,
+//! **K-means**, a **SQL join** and **logistic regression** — seven
+//! workloads spanning the
+//! bottleneck spectrum:
+//!
+//! | workload  | bottleneck            | config coupling |
+//! |-----------|-----------------------|-----------------|
+//! | Wordcount | input scan            | weak (paper: 0–3% re-tune saving) |
+//! | Terasort  | shuffle + sort memory | strong          |
+//! | Pagerank  | iterative cache + shuffle | strong, grows with input (paper: 8–56%) |
+//! | Bayes     | CPU + moderate shuffle/cache | medium (paper: 17–25%) |
+//! | K-means   | iterative CPU         | medium          |
+//! | SQL join  | skewed shuffle join   | strong          |
+//! | LogisticRegression | iterative ML (Ernest's niche) | medium |
+//!
+//! Every workload implements [`Workload`], producing a
+//! [`simcluster::JobSpec`] for a given [`DataScale`].
+
+pub mod bayes;
+pub mod generator;
+pub mod kmeans;
+pub mod logistic;
+pub mod pagerank;
+pub mod scale;
+pub mod sqljoin;
+pub mod suite;
+pub mod terasort;
+pub mod wordcount;
+
+pub use bayes::BayesClassifier;
+pub use generator::{evolving_inputs, InputSpec};
+pub use kmeans::KMeans;
+pub use logistic::LogisticRegression;
+pub use pagerank::Pagerank;
+pub use scale::DataScale;
+pub use sqljoin::SqlJoin;
+pub use suite::{all_workloads, table1_workloads, workload_by_name};
+pub use terasort::Terasort;
+pub use wordcount::Wordcount;
+
+use simcluster::JobSpec;
+
+/// A workload: a named generator of physical execution plans.
+pub trait Workload: Send + Sync {
+    /// The workload's canonical name, e.g. `"pagerank"`.
+    fn name(&self) -> &str;
+
+    /// Builds the job DAG for the given input scale.
+    fn job(&self, scale: DataScale) -> JobSpec;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_produces_valid_dags_at_every_scale() {
+        for w in all_workloads() {
+            for scale in [
+                DataScale::Tiny,
+                DataScale::Small,
+                DataScale::Ds1,
+                DataScale::Ds2,
+                DataScale::Ds3,
+            ] {
+                let job = w.job(scale);
+                assert!(
+                    job.validate().is_ok(),
+                    "{} @ {scale:?} produced a malformed DAG",
+                    w.name()
+                );
+                assert!(job.total_input_mb() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn job_names_embed_workload_and_scale() {
+        let j = Pagerank::new().job(DataScale::Ds2);
+        assert!(j.name.contains("pagerank"));
+    }
+
+    #[test]
+    fn bigger_scales_mean_more_input() {
+        for w in all_workloads() {
+            let small = w.job(DataScale::Ds1).total_input_mb();
+            let big = w.job(DataScale::Ds3).total_input_mb();
+            assert!(big > small * 4.0, "{}: {small} vs {big}", w.name());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Logistic-regression training: the machine-learning job class Ernest
+//! was built for (§II-A) — gradient iterations over a cached feature
+//! matrix with tiny all-reduce style shuffles, and a runtime dominated
+//! by `scale/machines` parallel work plus per-iteration coordination.
+
+use simcluster::{JobSpec, Partitioning, StageSpec};
+
+use crate::scale::DataScale;
+use crate::Workload;
+
+/// The logistic-regression training workload.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogisticRegression {
+    /// Standard configuration: 10 gradient iterations.
+    pub fn new() -> Self {
+        LogisticRegression { iterations: 10 }
+    }
+
+    /// A variant with a custom iteration count.
+    pub fn with_iterations(iterations: usize) -> Self {
+        LogisticRegression {
+            iterations: iterations.max(1),
+        }
+    }
+}
+
+impl Workload for LogisticRegression {
+    fn name(&self) -> &str {
+        "logistic"
+    }
+
+    fn job(&self, scale: DataScale) -> JobSpec {
+        let input = scale.input_mb();
+        let gradient = (input * 0.0005).max(0.25);
+        let mut stages = vec![
+            StageSpec::input("lr-load", input, 0.007)
+                .cached()
+                .writes_output(input)
+                .with_mem_expansion(1.3)
+                .with_partitioning(Partitioning::InputBlocks { block_mb: 64.0 }),
+        ];
+        let mut prev = 0usize;
+        for i in 0..self.iterations {
+            let step = StageSpec::reduce(
+                &format!("lr-iter{}-grad", i + 1),
+                vec![prev],
+                gradient,
+                0.024,
+            )
+            .reads_cached(0, input)
+            .writes_shuffle(gradient)
+            .with_mem_expansion(1.2);
+            stages.push(step);
+            prev = stages.len() - 1;
+        }
+        stages.push(
+            StageSpec::reduce("lr-model", vec![prev], gradient, 0.002)
+                .writes_output(gradient),
+        );
+        JobSpec::new(&format!("logistic@{}", scale.label()), stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_tracks_iterations() {
+        let j = LogisticRegression::with_iterations(5).job(DataScale::Tiny);
+        assert_eq!(j.num_stages(), 7);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn gradient_shuffles_are_tiny() {
+        let j = LogisticRegression::new().job(DataScale::Ds1);
+        assert!(j.total_shuffle_mb() < 0.01 * j.total_input_mb());
+    }
+
+    #[test]
+    fn every_iteration_reads_the_cached_features() {
+        let j = LogisticRegression::new().job(DataScale::Ds1);
+        assert_eq!(
+            j.stages.iter().filter(|s| s.cached_read.is_some()).count(),
+            10
+        );
+    }
+}

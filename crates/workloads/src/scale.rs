@@ -1,0 +1,99 @@
+//! Input-data scales, including the paper's evolving DS1/DS2/DS3 sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// An input-data scale for a workload.
+///
+/// `Ds1`–`Ds3` are the paper's three evolving input sizes (Table I);
+/// `Tiny`/`Small` are fast presets for tests and examples; `Custom`
+/// gives an explicit size in MB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataScale {
+    /// 512 MB — test-speed preset.
+    Tiny,
+    /// 4 GB — example-speed preset.
+    Small,
+    /// 8 GB — the paper's first evolving size.
+    Ds1,
+    /// 32 GB — the paper's second evolving size.
+    Ds2,
+    /// 128 GB — the paper's third evolving size.
+    Ds3,
+    /// Explicit input size in MB.
+    Custom(f64),
+}
+
+impl DataScale {
+    /// The scale's input volume in MB.
+    pub fn input_mb(self) -> f64 {
+        match self {
+            DataScale::Tiny => 512.0,
+            DataScale::Small => 4_096.0,
+            DataScale::Ds1 => 8_192.0,
+            DataScale::Ds2 => 32_768.0,
+            DataScale::Ds3 => 131_072.0,
+            DataScale::Custom(mb) => mb.max(1.0),
+        }
+    }
+
+    /// A short label for job names, e.g. `"DS2"`.
+    pub fn label(self) -> String {
+        match self {
+            DataScale::Tiny => "tiny".to_owned(),
+            DataScale::Small => "small".to_owned(),
+            DataScale::Ds1 => "DS1".to_owned(),
+            DataScale::Ds2 => "DS2".to_owned(),
+            DataScale::Ds3 => "DS3".to_owned(),
+            DataScale::Custom(mb) => format!("{mb:.0}MB"),
+        }
+    }
+
+    /// The paper's evolving-input sequence, in order.
+    pub fn evolving() -> [DataScale; 3] {
+        [DataScale::Ds1, DataScale::Ds2, DataScale::Ds3]
+    }
+}
+
+impl std::fmt::Display for DataScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_strictly_increasing() {
+        let sizes = [
+            DataScale::Tiny,
+            DataScale::Small,
+            DataScale::Ds1,
+            DataScale::Ds2,
+            DataScale::Ds3,
+        ];
+        for w in sizes.windows(2) {
+            assert!(w[0].input_mb() < w[1].input_mb());
+        }
+    }
+
+    #[test]
+    fn ds_sequence_grows_geometrically() {
+        let [a, b, c] = DataScale::evolving();
+        assert_eq!(b.input_mb() / a.input_mb(), 4.0);
+        assert_eq!(c.input_mb() / b.input_mb(), 4.0);
+    }
+
+    #[test]
+    fn custom_is_clamped_positive() {
+        assert_eq!(DataScale::Custom(-5.0).input_mb(), 1.0);
+        assert_eq!(DataScale::Custom(777.0).input_mb(), 777.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DataScale::Ds1.label(), "DS1");
+        assert_eq!(DataScale::Custom(100.0).label(), "100MB");
+    }
+}

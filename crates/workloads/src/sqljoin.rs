@@ -1,0 +1,100 @@
+//! SQL join + aggregation: a skewed shuffle join between a fact and a
+//! dimension table, followed by a group-by.
+//!
+//! The join stage's task count follows `spark.sql.shuffle.partitions`
+//! (not `spark.default.parallelism`), its hash tables expand memory
+//! ~3×, and key skew creates stragglers — making this the workload
+//! where SQL-specific knobs and speculation pay off.
+
+use simcluster::{JobSpec, Partitioning, StageSpec};
+
+use crate::scale::DataScale;
+use crate::Workload;
+
+/// The SQL join workload.
+#[derive(Debug, Clone)]
+pub struct SqlJoin {
+    /// Fraction of total input in the fact table (rest is dimension).
+    pub fact_fraction: f64,
+    /// Join-key skew.
+    pub skew: f64,
+}
+
+impl Default for SqlJoin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SqlJoin {
+    /// Standard TPC-style join: 80% fact table, heavy key skew.
+    pub fn new() -> Self {
+        SqlJoin {
+            fact_fraction: 0.8,
+            skew: 0.45,
+        }
+    }
+}
+
+impl Workload for SqlJoin {
+    fn name(&self) -> &str {
+        "sqljoin"
+    }
+
+    fn job(&self, scale: DataScale) -> JobSpec {
+        let input = scale.input_mb();
+        let fact = input * self.fact_fraction;
+        let dim = input - fact;
+        let joined = fact * 0.6;
+        JobSpec::new(
+            &format!("sqljoin@{}", scale.label()),
+            vec![
+                StageSpec::input("sql-scan-fact", fact, 0.007)
+                    .writes_shuffle(fact * 0.7)
+                    .with_mem_expansion(1.2)
+                    .with_skew(self.skew * 0.4),
+                StageSpec::input("sql-scan-dim", dim, 0.007)
+                    .writes_shuffle(dim * 0.9)
+                    .with_mem_expansion(1.2),
+                StageSpec::reduce("sql-join", vec![0, 1], fact * 0.7 + dim * 0.9, 0.012)
+                    .writes_shuffle(joined * 0.4)
+                    .with_mem_expansion(3.0)
+                    .with_skew(self.skew)
+                    .with_partitioning(Partitioning::ShufflePartitions),
+                StageSpec::reduce("sql-groupby", vec![2], joined * 0.4, 0.008)
+                    .writes_output(joined * 0.05)
+                    .with_mem_expansion(1.8)
+                    .with_skew(self.skew * 0.6)
+                    .with_partitioning(Partitioning::ShufflePartitions),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_uses_sql_shuffle_partitions() {
+        let j = SqlJoin::new().job(DataScale::Ds1);
+        assert!(matches!(
+            j.stages[2].partitioning,
+            Partitioning::ShufflePartitions
+        ));
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn join_is_memory_hungry_and_skewed() {
+        let j = SqlJoin::new().job(DataScale::Ds1);
+        assert!(j.stages[2].mem_expansion >= 2.5);
+        assert!(j.stages[2].skew > 0.3);
+    }
+
+    #[test]
+    fn join_reads_both_scans() {
+        let j = SqlJoin::new().job(DataScale::Ds1);
+        assert_eq!(j.stages[2].deps, vec![0, 1]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The workload registry.
+
+use crate::{BayesClassifier, KMeans, LogisticRegression, Pagerank, SqlJoin, Terasort, Wordcount, Workload};
+
+/// All seven workloads, boxed for uniform handling.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Wordcount::new()),
+        Box::new(Terasort::new()),
+        Box::new(Pagerank::new()),
+        Box::new(BayesClassifier::new()),
+        Box::new(KMeans::new()),
+        Box::new(SqlJoin::new()),
+        Box::new(LogisticRegression::new()),
+    ]
+}
+
+/// The paper's Table I trio: Pagerank, Bayes, Wordcount — in the
+/// table's column order.
+pub fn table1_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Pagerank::new()),
+        Box::new(BayesClassifier::new()),
+        Box::new(Wordcount::new()),
+    ]
+}
+
+/// Looks up a workload by its canonical name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_seven_unique_names() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 7);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn table1_order_matches_the_paper() {
+        let names: Vec<String> = table1_workloads()
+            .iter()
+            .map(|w| w.name().to_owned())
+            .collect();
+        assert_eq!(names, ["pagerank", "bayes", "wordcount"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("kmeans").is_some());
+        assert!(workload_by_name("nope").is_none());
+    }
+}

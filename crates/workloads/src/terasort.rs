@@ -1,0 +1,63 @@
+//! Terasort: full-volume shuffle with memory-hungry sort buffers.
+//!
+//! Every input byte is shuffled and re-written, and the reduce side
+//! sorts with ~2.5× memory expansion, so Terasort couples strongly to
+//! parallelism, executor memory, compression and serializer choices —
+//! the classic stress test for shuffle-path configuration.
+
+use simcluster::{JobSpec, Partitioning, StageSpec};
+
+use crate::scale::DataScale;
+use crate::Workload;
+
+/// The Terasort workload.
+#[derive(Debug, Clone, Default)]
+pub struct Terasort;
+
+impl Terasort {
+    /// Standard terasort.
+    pub fn new() -> Self {
+        Terasort
+    }
+}
+
+impl Workload for Terasort {
+    fn name(&self) -> &str {
+        "terasort"
+    }
+
+    fn job(&self, scale: DataScale) -> JobSpec {
+        let input = scale.input_mb();
+        JobSpec::new(
+            &format!("terasort@{}", scale.label()),
+            vec![
+                StageSpec::input("ts-sample-map", input, 0.004)
+                    .writes_shuffle(input)
+                    .with_mem_expansion(1.4)
+                    .with_skew(0.05),
+                StageSpec::reduce("ts-sort", vec![0], input, 0.005)
+                    .writes_output(input)
+                    .with_mem_expansion(2.5)
+                    .with_skew(0.05)
+                    .with_partitioning(Partitioning::DefaultParallelism),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffles_full_volume() {
+        let j = Terasort::new().job(DataScale::Ds1);
+        assert_eq!(j.total_shuffle_mb(), j.total_input_mb());
+    }
+
+    #[test]
+    fn sort_stage_is_memory_hungry() {
+        let j = Terasort::new().job(DataScale::Ds1);
+        assert!(j.stages[1].mem_expansion >= 2.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's vision end-to-end: a cloud provider operates the
+//! seamless tuning service for multiple tenants. Later tenants with
+//! similar workloads are tuned faster because the provider transfers
+//! knowledge from its multi-tenant execution history (§IV-C, §V-B).
+//!
+//! Run with: `cargo run --release --example tuning_service`
+
+use std::sync::Arc;
+
+use seamless_tuning::prelude::*;
+
+fn main() {
+    let store = Arc::new(HistoryStore::new());
+    let service = SeamlessTuner::new(
+        Arc::clone(&store),
+        SimEnvironment::shared(21),
+        ServiceConfig {
+            stage1_budget: 8,
+            stage2_budget: 16,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Five tenants submit workloads over time. Tenants 3–5 run
+    // variants similar to earlier submissions.
+    let tenants: Vec<(&str, &str, Box<dyn Workload>)> = vec![
+        ("alice", "nightly-pagerank", Box::new(Pagerank::new())),
+        ("bob", "etl-wordcount", Box::new(Wordcount::new())),
+        ("carol", "web-pagerank", Box::new(Pagerank::with_iterations(4))),
+        ("dave", "log-wordcount", Box::new(Wordcount::with_combine_ratio(0.08))),
+        ("erin", "citations-pagerank", Box::new(Pagerank::with_iterations(6))),
+    ];
+
+    println!(
+        "{:<8} {:<20} {:>10} {:>9} {:>10} {:>9}",
+        "tenant", "workload", "cluster", "best(s)", "tuning($)", "transfer"
+    );
+    for (i, (client, label, workload)) in tenants.into_iter().enumerate() {
+        let job = workload.job(DataScale::Small);
+        let outcome = service.tune(client, label, &job, 100 + i as u64);
+        println!(
+            "{:<8} {:<20} {:>10} {:>9.1} {:>10.2} {:>9}",
+            client,
+            label,
+            outcome.cluster.to_string(),
+            outcome.best_runtime_s,
+            outcome.tuning_cost_usd(),
+            if outcome.used_transfer { "yes" } else { "no" }
+        );
+    }
+
+    println!(
+        "\nprovider history now holds {} execution records across tenants",
+        store.len()
+    );
+
+    // The provider can answer §IV-D questions: "how close is a tenant
+    // to the best similar workload ever run here?"
+    let snapshot = store.snapshot();
+    if let Some(record) = snapshot.last() {
+        if let Some(best) = store.best_similar_runtime(&record.signature, 10) {
+            println!(
+                "best runtime among workloads similar to {}'s last run: {:.1}s",
+                record.client, best
+            );
+        }
+    }
+}

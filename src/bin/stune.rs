@@ -1,0 +1,203 @@
+//! `stune` — a small CLI over the seamless-tuning library.
+//!
+//! ```text
+//! stune workloads                       list workloads
+//! stune tuners                          list tuning strategies
+//! stune catalog                         list the instance catalog
+//! stune tune [OPTIONS]                  tune a workload
+//!   --workload <name>     (default pagerank)
+//!   --scale <tiny|small|ds1|ds2|ds3|<MB>>   (default small)
+//!   --tuner <name>        (default bayesopt)
+//!   --budget <n>          (default 20)
+//!   --seed <n>            (default 42)
+//!   --cluster <family.size:nodes>   (default h1.4xlarge:4)
+//!   --goal <min-runtime|min-cost|deadline:<s>>  (default min-runtime)
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use seamless_tuning::core::goal::{GoalObjective, TuningGoal};
+use seamless_tuning::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("workloads") => {
+            for w in all_workloads() {
+                println!("{}", w.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("tuners") => {
+            for k in TunerKind::all() {
+                println!("{}", k.label());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("catalog") => {
+            println!(
+                "{:<14} {:>5} {:>8} {:>10} {:>9} {:>8}",
+                "instance", "vcpus", "mem(GB)", "disk(MB/s)", "net(MB/s)", "$/hr"
+            );
+            for i in seamless_tuning::simcluster::catalog::all_instances() {
+                println!(
+                    "{:<14} {:>5} {:>8} {:>10.0} {:>9.0} {:>8.3}",
+                    i.name(),
+                    i.vcpus,
+                    i.mem_mb / 1024,
+                    i.disk_mbps,
+                    i.net_mbps,
+                    i.price_per_hour
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("tune") => tune(&args[1..]),
+        _ => {
+            eprintln!("usage: stune <workloads|tuners|catalog|tune> [options]");
+            eprintln!("run `stune tune --workload pagerank --tuner bayesopt --budget 20`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_scale(s: &str) -> Result<DataScale, String> {
+    Ok(match s {
+        "tiny" => DataScale::Tiny,
+        "small" => DataScale::Small,
+        "ds1" => DataScale::Ds1,
+        "ds2" => DataScale::Ds2,
+        "ds3" => DataScale::Ds3,
+        other => DataScale::Custom(
+            other
+                .parse::<f64>()
+                .map_err(|_| format!("unknown scale `{other}`"))?,
+        ),
+    })
+}
+
+fn parse_tuner(s: &str) -> Result<TunerKind, String> {
+    TunerKind::all()
+        .into_iter()
+        .find(|k| k.label() == s)
+        .ok_or_else(|| format!("unknown tuner `{s}` (see `stune tuners`)"))
+}
+
+fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
+    let (inst, nodes) = s
+        .split_once(':')
+        .ok_or_else(|| format!("cluster must look like h1.4xlarge:4, got `{s}`"))?;
+    let (family, size) = inst
+        .split_once('.')
+        .ok_or_else(|| format!("instance must look like h1.4xlarge, got `{inst}`"))?;
+    let instance = seamless_tuning::simcluster::catalog::lookup(family, size)
+        .ok_or_else(|| format!("unknown instance `{inst}` (see `stune catalog`)"))?;
+    let nodes: u32 = nodes
+        .parse()
+        .map_err(|_| format!("bad node count `{nodes}`"))?;
+    if nodes == 0 {
+        return Err("node count must be positive".to_owned());
+    }
+    Ok(ClusterSpec::new(instance, nodes))
+}
+
+fn parse_goal(s: &str) -> Result<TuningGoal, String> {
+    if let Some(deadline) = s.strip_prefix("deadline:") {
+        return Ok(TuningGoal::Deadline {
+            seconds: deadline
+                .parse()
+                .map_err(|_| format!("bad deadline `{deadline}`"))?,
+        });
+    }
+    match s {
+        "min-runtime" => Ok(TuningGoal::MinRuntime),
+        "min-cost" => Ok(TuningGoal::MinCost),
+        other => Err(format!("unknown goal `{other}`")),
+    }
+}
+
+fn tune(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let flags = parse_flags(args)?;
+        let get = |key: &str, default: &str| -> String {
+            flags.get(key).cloned().unwrap_or_else(|| default.to_owned())
+        };
+        let workload_name = get("workload", "pagerank");
+        let workload = workload_by_name_or_err(&workload_name)?;
+        let scale = parse_scale(&get("scale", "small"))?;
+        let tuner = parse_tuner(&get("tuner", "bayesopt"))?;
+        let budget: usize = get("budget", "20")
+            .parse()
+            .map_err(|_| "bad --budget".to_owned())?;
+        let seed: u64 = get("seed", "42")
+            .parse()
+            .map_err(|_| "bad --seed".to_owned())?;
+        let cluster = parse_cluster(&get("cluster", "h1.4xlarge:4"))?;
+        let goal = parse_goal(&get("goal", "min-runtime"))?;
+
+        let job = workload.job(scale);
+        println!(
+            "tuning {} on {} with {} ({} executions, goal {})",
+            job.name,
+            cluster,
+            tuner.label(),
+            budget,
+            goal.label()
+        );
+
+        let inner = DiscObjective::new(cluster, job, &SimEnvironment::dedicated(seed));
+        let mut objective = GoalObjective::new(inner, goal);
+        let mut session = TuningSession::new(tuner, seed ^ 0x5EED);
+        let outcome = session.run(&mut objective, budget);
+
+        match &outcome.best {
+            None => println!("no configuration survived — every execution crashed"),
+            Some(best) => {
+                let true_runtime = best
+                    .metrics
+                    .as_ref()
+                    .map_or(best.runtime_s, |m| m.runtime_s);
+                println!(
+                    "\nbest after {} executions: {:.1}s (${:.4}/run), tuning spend ${:.2}",
+                    outcome.history.len(),
+                    true_runtime,
+                    best.cost_usd,
+                    outcome.total_cost_usd()
+                );
+                println!("configuration:");
+                for (name, value) in best.config.iter() {
+                    println!("  {name} = {value}");
+                }
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workload_by_name_or_err(name: &str) -> Result<Box<dyn Workload>, String> {
+    seamless_tuning::workloads::workload_by_name(name)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `stune workloads`)"))
+}

@@ -1,0 +1,151 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! configuration the samplers can produce.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use seamless_tuning::prelude::*;
+
+/// Draws a valid random Spark configuration from a proptest seed.
+fn arb_spark_config() -> impl Strategy<Value = Configuration> {
+    any::<u64>().prop_map(|seed| {
+        let space = spark_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        UniformSampler.sample(&space, &mut rng)
+    })
+}
+
+fn arb_cloud_config() -> impl Strategy<Value = Configuration> {
+    any::<u64>().prop_map(|seed| {
+        let space = cloud_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        UniformSampler.sample(&space, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sampled configuration round-trips the feature encoding:
+    /// exactly for discrete parameters, to 1e-9 relative error for
+    /// continuous ones (one decode multiplication of rounding).
+    #[test]
+    fn encode_decode_roundtrip(cfg in arb_spark_config()) {
+        let space = spark_space();
+        let decoded = space.decode(&space.encode(&cfg));
+        for (name, original) in cfg.iter() {
+            let back = decoded.get(name).expect("decoded keeps every parameter");
+            match (original, back) {
+                (
+                    seamless_tuning::confspace::ParamValue::Float(a),
+                    seamless_tuning::confspace::ParamValue::Float(b),
+                ) => {
+                    prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "{name}: {a} vs {b}");
+                }
+                (a, b) => prop_assert_eq!(a, b, "{} differs", name),
+            }
+        }
+    }
+
+    /// Every sampled configuration either resolves to an executor
+    /// layout or fails with a launch error — never panics.
+    #[test]
+    fn resolve_never_panics(cfg in arb_spark_config()) {
+        let cluster = ClusterSpec::table1_testbed();
+        let _ = SparkEnv::resolve(&cluster, &cfg);
+    }
+
+    /// Successful simulations produce positive, finite runtimes and
+    /// costs, and metrics whose time fractions sum to ~1.
+    #[test]
+    fn simulation_outputs_are_sane(cfg in arb_spark_config(), seed in any::<u64>()) {
+        let cluster = ClusterSpec::table1_testbed();
+        if let Ok(env) = SparkEnv::resolve(&cluster, &cfg) {
+            let job = Wordcount::new().job(DataScale::Tiny);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Ok(r) = Simulator::dedicated().run(&env, &job, &mut rng) {
+                prop_assert!(r.runtime_s.is_finite() && r.runtime_s > 0.0);
+                prop_assert!(r.cost_usd > 0.0);
+                let m = &r.metrics;
+                let frac_sum = m.cpu_frac() + m.io_frac() + m.net_frac()
+                    + m.gc_frac() + m.ser_frac();
+                prop_assert!((frac_sum - 1.0).abs() < 1e-6, "fractions sum to {frac_sum}");
+            }
+        }
+    }
+
+    /// More input never makes the same configuration meaningfully
+    /// faster: 16x the data must cost at least 1.2x the *expected*
+    /// runtime (averaged over seeds, so straggler tails on tiny jobs
+    /// cannot flip the comparison).
+    #[test]
+    fn runtime_is_monotone_in_input(cfg in arb_spark_config(), seed in any::<u64>()) {
+        let cluster = ClusterSpec::table1_testbed();
+        if let Ok(env) = SparkEnv::resolve(&cluster, &cfg) {
+            let sim = Simulator::dedicated();
+            let small = Wordcount::new().job(DataScale::Custom(512.0));
+            let big = Wordcount::new().job(DataScale::Custom(8192.0));
+            let mean = |job: &simcluster::JobSpec| -> Option<f64> {
+                let mut total = 0.0;
+                for i in 0..5u64 {
+                    total += sim
+                        .run(&env, job, &mut StdRng::seed_from_u64(seed ^ (i * 77)))
+                        .ok()?
+                        .runtime_s;
+                }
+                Some(total / 5.0)
+            };
+            if let (Some(a), Some(b)) = (mean(&small), mean(&big)) {
+                prop_assert!(b > a * 1.2, "16x input: {a} -> {b}");
+            }
+        }
+    }
+
+    /// Cloud configurations always denote a purchasable cluster with a
+    /// positive price, and cost scales linearly with time.
+    #[test]
+    fn cloud_configs_denote_real_clusters(cfg in arb_cloud_config()) {
+        let cluster = ClusterSpec::from_config(&cfg).expect("catalog covers the space");
+        prop_assert!(cluster.price_per_hour() > 0.0);
+        let one_hour = cluster.cost_for(3600.0);
+        let two_hours = cluster.cost_for(7200.0);
+        prop_assert!((two_hours - 2.0 * one_hour).abs() < 1e-9);
+    }
+
+    /// The workload signature is always a bounded vector.
+    #[test]
+    fn signatures_are_bounded(cfg in arb_spark_config(), seed in any::<u64>()) {
+        let cluster = ClusterSpec::table1_testbed();
+        if let Ok(env) = SparkEnv::resolve(&cluster, &cfg) {
+            let job = BayesClassifier::new().job(DataScale::Tiny);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Ok(r) = Simulator::dedicated().run(&env, &job, &mut rng) {
+                let sig = WorkloadSignature::from_metrics(&r.metrics);
+                prop_assert!(sig.features().iter().all(|f| (0.0..=1.0).contains(f)));
+            }
+        }
+    }
+
+    /// Observations fed to a tuner never produce an invalid proposal.
+    #[test]
+    fn tuner_proposals_are_always_valid(seed in any::<u64>(), kind_idx in 0usize..11) {
+        let space = spark_space();
+        let kind = TunerKind::all()[kind_idx];
+        let mut tuner = kind.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut history = Vec::new();
+        for i in 0..6 {
+            let cfg = tuner.propose(&space, &history, &mut rng);
+            prop_assert!(space.validate(&cfg).is_ok(), "{kind} proposal {i} invalid");
+            history.push(seamless_tuning::core::Observation {
+                config: cfg,
+                runtime_s: 10.0 + i as f64,
+                cost_usd: 0.0,
+                metrics: None,
+                failure: None,
+            });
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration test: the Fig. 1 two-stage pipeline end to end, with
+//! multi-tenant history, transfer, and the amortization ledger.
+
+use std::sync::Arc;
+
+use seamless_tuning::prelude::*;
+
+fn service(store: Arc<HistoryStore>) -> SeamlessTuner {
+    SeamlessTuner::new(
+        store,
+        SimEnvironment::dedicated(31),
+        ServiceConfig {
+            stage1_budget: 5,
+            stage2_budget: 8,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+#[test]
+fn pipeline_produces_deployable_outcome() {
+    let store = Arc::new(HistoryStore::new());
+    let svc = service(Arc::clone(&store));
+    let job = Wordcount::new().job(DataScale::Tiny);
+    let out = svc.tune("t0", "wc", &job, 1);
+
+    // Stage 1 chose a real catalog cluster.
+    assert!(out.cluster.nodes >= 2);
+    // Stage 2 produced a config valid for the DISC space.
+    assert!(spark_space().validate(&out.disc_config).is_ok());
+    // The best runtime is achievable (finite, positive).
+    assert!(out.best_runtime_s.is_finite() && out.best_runtime_s > 0.0);
+    // The provider recorded probe + stage1 + stage2 executions.
+    assert!(store.len() >= 5);
+}
+
+#[test]
+fn history_grows_and_transfer_kicks_in_for_similar_tenants() {
+    let store = Arc::new(HistoryStore::new());
+    let svc = service(Arc::clone(&store));
+    let job = Pagerank::new().job(DataScale::Tiny);
+
+    let first = svc.tune("alice", "pr", &job, 2);
+    assert!(!first.used_transfer);
+    let len_after_first = store.len();
+
+    let second = svc.tune("bob", "pr2", &job, 3);
+    assert!(second.used_transfer, "similar history must donate");
+    assert!(store.len() > len_after_first);
+}
+
+#[test]
+fn ledger_tracks_tuning_spend_and_break_even() {
+    let store = Arc::new(HistoryStore::new());
+    let svc = service(store);
+    let job = Wordcount::new().job(DataScale::Tiny);
+    let out = svc.tune("carol", "wc", &job, 4);
+    let ledger = out.ledger(0.05);
+    assert!(ledger.tuning_cost_usd > 0.0);
+    // With any positive per-run saving the break-even count is finite.
+    if ledger.saving_per_run_usd() > 0.0 {
+        assert!(ledger.runs_to_break_even().expect("positive saving") > 0.0);
+    }
+}
+
+#[test]
+fn signature_identifies_the_workload_across_configs() {
+    let store = Arc::new(HistoryStore::new());
+    let svc = service(Arc::clone(&store));
+    let wc = svc.tune("d1", "wc", &Wordcount::new().job(DataScale::Tiny), 5);
+    let km = svc.tune("d2", "km", &KMeans::new().job(DataScale::Tiny), 6);
+    // The two workloads' signatures should be distinguishable.
+    assert!(
+        wc.signature.distance(&km.signature) > 0.03,
+        "wordcount vs kmeans signature distance too small: {}",
+        wc.signature.distance(&km.signature)
+    );
+}
