@@ -14,7 +14,12 @@ fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         .collect();
     let y: Vec<f64> = x
         .iter()
-        .map(|v| v.iter().enumerate().map(|(i, x)| (x - 0.1 * i as f64).powi(2)).sum())
+        .map(|v| {
+            v.iter()
+                .enumerate()
+                .map(|(i, x)| (x - 0.1 * i as f64).powi(2))
+                .sum()
+        })
         .collect();
     (x, y)
 }

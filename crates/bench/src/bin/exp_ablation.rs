@@ -54,14 +54,36 @@ fn main() {
 
     // --- Kernel family ---
     let kernels = [
-        ("matern52", Kernel::Matern52 { length_scale: 0.4, variance: 1.0 }),
-        ("squared-exp", Kernel::SquaredExp { length_scale: 0.4, variance: 1.0 }),
-        ("additive", Kernel::Additive { length_scale: 0.3, variance: 1.0 }),
+        (
+            "matern52",
+            Kernel::Matern52 {
+                length_scale: 0.4,
+                variance: 1.0,
+            },
+        ),
+        (
+            "squared-exp",
+            Kernel::SquaredExp {
+                length_scale: 0.4,
+                variance: 1.0,
+            },
+        ),
+        (
+            "additive",
+            Kernel::Additive {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, kernel) in kernels {
         let m = mean_best(|| bo_variant(kernel, 8), 50);
-        rows.push(vec!["kernel".to_owned(), name.to_owned(), format!("{m:.1}")]);
+        rows.push(vec![
+            "kernel".to_owned(),
+            name.to_owned(),
+            format!("{m:.1}"),
+        ]);
         json.push(AblationRow {
             ablation: "kernel".to_owned(),
             variant: name.to_owned(),
@@ -72,7 +94,15 @@ fn main() {
     // --- Warm-up design size ---
     for init in [4usize, 8, 16] {
         let m = mean_best(
-            || bo_variant(Kernel::Matern52 { length_scale: 0.4, variance: 1.0 }, init),
+            || {
+                bo_variant(
+                    Kernel::Matern52 {
+                        length_scale: 0.4,
+                        variance: 1.0,
+                    },
+                    init,
+                )
+            },
             60,
         );
         rows.push(vec![
@@ -87,7 +117,11 @@ fn main() {
         });
     }
     print_table(
-        &["ablation", "variant", "mean best runtime(s) on pagerank@small"],
+        &[
+            "ablation",
+            "variant",
+            "mean best runtime(s) on pagerank@small",
+        ],
         &rows,
     );
 
@@ -95,7 +129,10 @@ fn main() {
     println!("\nErnest vs BO on cloud selection, per workload class:");
     let mut rows = Vec::new();
     for (class, job) in [
-        ("ML (its niche)", LogisticRegression::new().job(DataScale::Small)),
+        (
+            "ML (its niche)",
+            LogisticRegression::new().job(DataScale::Small),
+        ),
         ("shuffle-bound", Terasort::new().job(DataScale::Small)),
     ] {
         let mut per_kind = Vec::new();
@@ -125,7 +162,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["workload class", "ernest best(s)", "bayesopt best(s)", "ernest/bo"],
+        &[
+            "workload class",
+            "ernest best(s)",
+            "bayesopt best(s)",
+            "ernest/bo",
+        ],
         &rows,
     );
 

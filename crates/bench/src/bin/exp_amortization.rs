@@ -80,7 +80,12 @@ fn main() {
             ledger
                 .runs_to_break_even()
                 .map_or("never".to_owned(), |r| format!("{r:.0}")),
-            if ledger.amortizes_within(LIFETIME_RUNS) { "yes" } else { "NO" }.to_owned(),
+            if ledger.amortizes_within(LIFETIME_RUNS) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
             format!("{:+.2}", ledger.net_saving_after(LIFETIME_RUNS)),
         ]);
         json.push(AmortRow {
@@ -96,12 +101,23 @@ fn main() {
     }
 
     print_table(
-        &["tuner", "budget", "tuning cost($)", "run cost($)", "break-even runs", "amortizes in 90?", "net after 90 ($)"],
+        &[
+            "tuner",
+            "budget",
+            "tuning cost($)",
+            "run cost($)",
+            "break-even runs",
+            "amortizes in 90?",
+            "net after 90 ($)",
+        ],
         &rows,
     );
 
     let bo = json.iter().find(|r| r.tuner == "bayesopt").expect("bo row");
-    let bc = json.iter().find(|r| r.tuner == "bestconfig").expect("bc row");
+    let bc = json
+        .iter()
+        .find(|r| r.tuner == "bestconfig")
+        .expect("bc row");
     println!("\nshape checks:");
     println!(
         "  bestconfig@500 spends far more on tuning than bayesopt@30: ${:.2} vs ${:.2} -> {}",

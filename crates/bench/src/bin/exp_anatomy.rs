@@ -40,10 +40,18 @@ fn main() {
     for w in all_workloads() {
         let job = w.job(DataScale::Small);
         let mut rng = StdRng::seed_from_u64(7);
-        let result = sim.run(&env, &job, &mut rng).expect("house default succeeds");
+        let result = sim
+            .run(&env, &job, &mut rng)
+            .expect("house default succeeds");
         let m = &result.metrics;
 
-        println!("== {} ({} stages, {} tasks, {:.1}s) ==", job.name, m.stages.len(), m.total_tasks, m.runtime_s);
+        println!(
+            "== {} ({} stages, {} tasks, {:.1}s) ==",
+            job.name,
+            m.stages.len(),
+            m.total_tasks,
+            m.runtime_s
+        );
         let rows: Vec<Vec<String>> = m
             .stages
             .iter()
@@ -66,7 +74,17 @@ fn main() {
             })
             .collect();
         print_table(
-            &["stage", "tasks", "wall(s)", "cpu(s)", "io(s)", "net(s)", "gc(s)", "ser(s)", "cache-hit"],
+            &[
+                "stage",
+                "tasks",
+                "wall(s)",
+                "cpu(s)",
+                "io(s)",
+                "net(s)",
+                "gc(s)",
+                "ser(s)",
+                "cache-hit",
+            ],
             &rows,
         );
         println!();

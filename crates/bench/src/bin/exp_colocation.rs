@@ -128,7 +128,11 @@ fn main() {
     };
 
     print_table(
-        &["procedure", "picks true best", "mean regret (runtime vs best)"],
+        &[
+            "procedure",
+            "picks true best",
+            "mean regret (runtime vs best)",
+        ],
         &[
             vec![
                 "single sample per candidate".to_owned(),

@@ -73,11 +73,8 @@ fn main() {
         let target = global_best * 1.10;
 
         // Reference: default-configuration runtime (for "2x default").
-        let mut obj = DiscObjective::new(
-            cluster.clone(),
-            job.clone(),
-            &SimEnvironment::dedicated(5),
-        );
+        let mut obj =
+            DiscObjective::new(cluster.clone(), job.clone(), &SimEnvironment::dedicated(5));
         let dflt = obj
             .evaluate(&confspace::spark::spark_space().default_configuration())
             .runtime_s;
@@ -100,9 +97,18 @@ fn main() {
                 evals_to_2x_default: twox,
             });
         }
-        rows.sort_by(|a, b| a[1].parse::<f64>().unwrap_or(1e9).total_cmp(&b[1].parse::<f64>().unwrap_or(1e9)));
+        rows.sort_by(|a, b| {
+            a[1].parse::<f64>()
+                .unwrap_or(1e9)
+                .total_cmp(&b[1].parse::<f64>().unwrap_or(1e9))
+        });
         print_table(
-            &["tuner", "best(s)", "execs to within 10% of overall best", "execs to beat 2x default"],
+            &[
+                "tuner",
+                "best(s)",
+                "execs to within 10% of overall best",
+                "execs to beat 2x default",
+            ],
             &rows,
         );
         println!();
@@ -114,7 +120,10 @@ fn main() {
         let v: Vec<f64> = json
             .iter()
             .filter(|r| r.tuner == label)
-            .map(|r| r.evals_to_within_10pct.map_or(BUDGET as f64 * 1.5, |n| n as f64))
+            .map(|r| {
+                r.evals_to_within_10pct
+                    .map_or(BUDGET as f64 * 1.5, |n| n as f64)
+            })
             .collect();
         models::stats::mean(&v)
     };

@@ -18,9 +18,7 @@ use bench::{eval_config, print_table, seeds, write_json};
 use confspace::cloud::names as cn;
 use confspace::spark::names as sp;
 use seamless_core::tuner::{TunerKind, TuningSession};
-use seamless_core::{
-    CloudObjective, DiscObjective, JointObjective, SeamlessTuner, SimEnvironment,
-};
+use seamless_core::{CloudObjective, DiscObjective, JointObjective, SeamlessTuner, SimEnvironment};
 use serde::Serialize;
 use simcluster::{ClusterSpec, InterferenceModel};
 use workloads::{DataScale, Terasort, Workload};
@@ -48,21 +46,18 @@ fn main() {
             let env = SimEnvironment::dedicated(70 + rep);
             let (best_runtime, best_cost) = match mode {
                 "disc-only" => {
-                    let mut obj = DiscObjective::new(
-                        ClusterSpec::table1_testbed(),
-                        job.clone(),
-                        &env,
-                    );
+                    let mut obj =
+                        DiscObjective::new(ClusterSpec::table1_testbed(), job.clone(), &env);
                     let mut s = TuningSession::new(TunerKind::BayesOpt, 71 + rep);
                     let o = s.run(&mut obj, TOTAL_BUDGET);
-                    (o.best_runtime_s(), o.best.as_ref().map_or(0.0, |b| b.cost_usd))
+                    (
+                        o.best_runtime_s(),
+                        o.best.as_ref().map_or(0.0, |b| b.cost_usd),
+                    )
                 }
                 "staged" => {
-                    let mut cloud = CloudObjective::new(
-                        job.clone(),
-                        SeamlessTuner::house_default(),
-                        &env,
-                    );
+                    let mut cloud =
+                        CloudObjective::new(job.clone(), SeamlessTuner::house_default(), &env);
                     let mut s1 = TuningSession::new(TunerKind::BayesOpt, 72 + rep);
                     let o1 = s1.run(&mut cloud, TOTAL_BUDGET / 3);
                     let cluster = o1
@@ -72,13 +67,19 @@ fn main() {
                     let mut disc = DiscObjective::new(cluster, job.clone(), &env);
                     let mut s2 = TuningSession::new(TunerKind::BayesOpt, 73 + rep);
                     let o2 = s2.run(&mut disc, TOTAL_BUDGET - TOTAL_BUDGET / 3);
-                    (o2.best_runtime_s(), o2.best.as_ref().map_or(0.0, |b| b.cost_usd))
+                    (
+                        o2.best_runtime_s(),
+                        o2.best.as_ref().map_or(0.0, |b| b.cost_usd),
+                    )
                 }
                 _ => {
                     let mut obj = JointObjective::new(job.clone(), &env);
                     let mut s = TuningSession::new(TunerKind::BayesOpt, 74 + rep);
                     let o = s.run(&mut obj, TOTAL_BUDGET);
-                    (o.best_runtime_s(), o.best.as_ref().map_or(0.0, |b| b.cost_usd))
+                    (
+                        o.best_runtime_s(),
+                        o.best.as_ref().map_or(0.0, |b| b.cost_usd),
+                    )
                 }
             };
             runtimes.push(best_runtime);
@@ -104,7 +105,9 @@ fn main() {
     let mut coupling_rows = Vec::new();
     let mut coupling = Vec::new();
     for size in ["xlarge", "2xlarge", "4xlarge"] {
-        let vcpus = simcluster::catalog::lookup("h1", size).expect("h1 size").vcpus;
+        let vcpus = simcluster::catalog::lookup("h1", size)
+            .expect("h1 size")
+            .vcpus;
         let mut row = vec![format!("h1.{size} ({vcpus} vCPU)")];
         for cores in [2i64, 4, 8, 16] {
             let cloud = confspace::cloud::cloud_space()
@@ -121,7 +124,10 @@ fn main() {
         }
         coupling_rows.push(row);
     }
-    print_table(&["cluster", "cores=2", "cores=4", "cores=8", "cores=16"], &coupling_rows);
+    print_table(
+        &["cluster", "cores=2", "cores=4", "cores=8", "cores=16"],
+        &coupling_rows,
+    );
 
     // Shape: the penalty of a high core count shrinks as node vCPUs
     // grow — the vCPU <-> executor-cores interaction §I points to.

@@ -40,10 +40,11 @@ fn main() {
     let mut json = Vec::new();
     for w in all_workloads() {
         let job = w.job(DataScale::Ds1);
-        let results: Vec<f64> = eval_pool(&cluster, &job, &pool, InterferenceModel::none(), &replicas)
-            .iter()
-            .map(|s| s.mean_runtime_s)
-            .collect();
+        let results: Vec<f64> =
+            eval_pool(&cluster, &job, &pool, InterferenceModel::none(), &replicas)
+                .iter()
+                .map(|s| s.mean_runtime_s)
+                .collect();
         let finite: Vec<f64> = results
             .iter()
             .copied()
@@ -83,14 +84,19 @@ fn main() {
     }
 
     print_table(
-        &["workload", "best(s)", "worst(s)", "default(s)", "worst/best", "default/best", "crash rate"],
+        &[
+            "workload",
+            "best(s)",
+            "worst(s)",
+            "default(s)",
+            "worst/best",
+            "default/best",
+            "crash rate",
+        ],
         &rows,
     );
 
-    let max_ratio = json
-        .iter()
-        .map(|r| r.worst_over_best)
-        .fold(0.0, f64::max);
+    let max_ratio = json.iter().map(|r| r.worst_over_best).fold(0.0, f64::max);
     println!("\nshape checks:");
     println!(
         "  order-of-magnitude degradation from plausible configs (paper: up to 89x): max worst/best = {max_ratio:.0}x -> {}",

@@ -142,7 +142,13 @@ fn main() {
     }
 
     print_table(
-        &["policy", "false-pos (stationary)", "false-pos (spike)", "detect (env-drift)", "mean delay (runs)"],
+        &[
+            "policy",
+            "false-pos (stationary)",
+            "false-pos (spike)",
+            "detect (env-drift)",
+            "mean delay (runs)",
+        ],
         &rows,
     );
 
@@ -159,9 +165,18 @@ input-size growth (16x) is caught by the workload signature in {} run(s), for ev
         growth_delay.unwrap_or(-1)
     );
 
-    let tight = json.iter().find(|r| r.policy == "fixed+10%").expect("fixed10");
-    let loose = json.iter().find(|r| r.policy == "fixed+50%").expect("fixed50");
-    let ph = json.iter().find(|r| r.policy == "page-hinkley").expect("ph");
+    let tight = json
+        .iter()
+        .find(|r| r.policy == "fixed+10%")
+        .expect("fixed10");
+    let loose = json
+        .iter()
+        .find(|r| r.policy == "fixed+50%")
+        .expect("fixed50");
+    let ph = json
+        .iter()
+        .find(|r| r.policy == "page-hinkley")
+        .expect("ph");
     println!("shape checks (the paper's 'too frequently or too late'):");
     println!(
         "  tight fixed threshold misfires on noise/spikes: fp={:.0}%/{:.0}% -> {}",

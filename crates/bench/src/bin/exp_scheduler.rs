@@ -20,9 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seamless_core::{JobProfile, SeamlessTuner};
 use serde::Serialize;
-use simcluster::{
-    run_shared, ClusterSpec, SharingPolicy, Simulator, SparkEnv, Submission,
-};
+use simcluster::{run_shared, ClusterSpec, SharingPolicy, Simulator, SparkEnv, Submission};
 use workloads::{DataScale, Pagerank, SqlJoin, Wordcount, Workload};
 
 #[derive(Debug, Serialize)]
@@ -110,7 +108,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["policy", "mean completion(s)", "interactive-job mean(s)", "makespan(s)"],
+        &[
+            "policy",
+            "mean completion(s)",
+            "interactive-job mean(s)",
+            "makespan(s)",
+        ],
         &rows,
     );
 

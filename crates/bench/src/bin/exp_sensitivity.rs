@@ -71,7 +71,12 @@ fn main() {
     }
 
     print_table(
-        &["workload", "additive-GP top-3", "forest top-3", "method overlap"],
+        &[
+            "workload",
+            "additive-GP top-3",
+            "forest top-3",
+            "method overlap",
+        ],
         &rows,
     );
 

@@ -48,7 +48,11 @@ fn main() {
         let job = w.job(DataScale::Small);
         let mut collected = 0;
         let mut configs = vec![SeamlessTuner::house_default()];
-        configs.extend(random_pool(&space, CONFIGS_PER_WORKLOAD * 3, 0x11 + w.name().len() as u64));
+        configs.extend(random_pool(
+            &space,
+            CONFIGS_PER_WORKLOAD * 3,
+            0x11 + w.name().len() as u64,
+        ));
         for cfg in configs {
             if collected >= CONFIGS_PER_WORKLOAD {
                 break;
@@ -114,8 +118,7 @@ fn main() {
         .collect();
     print_table(
         &["workload", "1-NN same-workload accuracy"],
-        &per
-            .iter()
+        &per.iter()
             .map(|(w, a)| vec![w.clone(), format!("{:.0}%", 100.0 * a)])
             .collect::<Vec<_>>(),
     );

@@ -54,7 +54,9 @@ fn variant_suite() -> Vec<Box<dyn Workload>> {
         Box::new(Wordcount::with_combine_ratio(0.08)),
         Box::new(Terasort::new()),
         Box::new(Pagerank::with_iterations(4)),
-        Box::new(BayesClassifier { shuffle_ratio: 0.25 }),
+        Box::new(BayesClassifier {
+            shuffle_ratio: 0.25,
+        }),
         Box::new(KMeans::with_iterations(6)),
         Box::new(SqlJoin {
             fact_fraction: 0.75,
@@ -184,7 +186,13 @@ fn main() {
             });
         }
     }
-    push_mode("seamless service (1st submission)", &reports, &thresholds, &mut rows, &mut json);
+    push_mode(
+        "seamless service (1st submission)",
+        &reports,
+        &thresholds,
+        &mut rows,
+        &mut json,
+    );
 
     // --- Mode D: returning workloads (§IV: "40% of the analytics jobs
     // are recurring"). The tenant re-submits the same workload later:
@@ -230,7 +238,11 @@ fn main() {
     );
 
     let headers: Vec<String> = std::iter::once("mode".to_owned())
-        .chain(thresholds.iter().map(|t| format!("within {:.0}%", t * 100.0)))
+        .chain(
+            thresholds
+                .iter()
+                .map(|t| format!("within {:.0}%", t * 100.0)),
+        )
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(&header_refs, &rows);

@@ -20,9 +20,9 @@
 //! Run with: `cargo run --release -p bench --bin exp_table1`
 
 use bench::{eval_config, eval_pool, print_table, random_pool, seeds, write_json};
-use seamless_core::FAILURE_PENALTY_S;
 use confspace::spark::spark_space;
 use confspace::Configuration;
+use seamless_core::FAILURE_PENALTY_S;
 use serde::Serialize;
 use simcluster::{ClusterSpec, InterferenceModel, JobSpec};
 use workloads::{table1_workloads, DataScale};
@@ -82,7 +82,10 @@ fn main() {
 
     println!("E1 / Table I: potential saving of re-tuning over evolving input sizes");
     println!("(100 random configurations per workload+size, 4x h1.4xlarge,");
-    println!(" two-pass selection, averaged over {} pools)\n", POOL_SEEDS.len());
+    println!(
+        " two-pass selection, averaged over {} pools)\n",
+        POOL_SEEDS.len()
+    );
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
@@ -153,7 +156,11 @@ fn main() {
     }
 
     print_table(
-        &["potential savings", "DS1_best - DS2_best", "DS1_best - DS3_best"],
+        &[
+            "potential savings",
+            "DS1_best - DS2_best",
+            "DS1_best - DS3_best",
+        ],
         &rows,
     );
 

@@ -43,7 +43,10 @@ fn main() {
     let replicas = seeds(4, 3);
 
     // ---- Part 1: vertical vs horizontal scaling frontier ----
-    println!("E13 part 1: vertical vs horizontal scaling of {}\n", job.name);
+    println!(
+        "E13 part 1: vertical vs horizontal scaling of {}\n",
+        job.name
+    );
     let plans: Vec<(&str, &str, i64)> = vec![
         ("vertical", "xlarge", 4),
         ("vertical", "2xlarge", 4),
@@ -122,10 +125,19 @@ fn main() {
             cost_usd: cost,
         });
     }
-    print_table(&["goal", "chosen cluster", "runtime(s)", "run cost($)"], &rows);
+    print_table(
+        &["goal", "chosen cluster", "runtime(s)", "run cost($)"],
+        &rows,
+    );
 
-    let fast = json_goals.iter().find(|g| g.goal == "min-runtime").expect("row");
-    let cheap = json_goals.iter().find(|g| g.goal == "min-cost").expect("row");
+    let fast = json_goals
+        .iter()
+        .find(|g| g.goal == "min-runtime")
+        .expect("row");
+    let cheap = json_goals
+        .iter()
+        .find(|g| g.goal == "min-cost")
+        .expect("row");
     println!("\nshape checks:");
     println!(
         "  min-cost picks a cheaper run than min-runtime (${:.4} vs ${:.4}): {}",

@@ -120,7 +120,12 @@ fn main() {
         });
     }
     print_table(
-        &["setting", "best(s)", "best after 8 execs(s)", "execs to within 15%"],
+        &[
+            "setting",
+            "best(s)",
+            "best after 8 execs(s)",
+            "execs to within 15%",
+        ],
         &rows,
     );
 

@@ -35,7 +35,10 @@ fn actual(env: &SparkEnv, job: &JobSpec, seed: u64) -> Option<f64> {
     let mut total = 0.0;
     for s in 0..3u64 {
         let mut rng = StdRng::seed_from_u64(seed + s);
-        total += Simulator::dedicated().run(env, job, &mut rng).ok()?.runtime_s;
+        total += Simulator::dedicated()
+            .run(env, job, &mut rng)
+            .ok()?
+            .runtime_s;
     }
     Some(total / 3.0)
 }
@@ -112,13 +115,17 @@ fn main() {
     }
 
     print_table(
-        &["workload", "MAPE: cluster scaling", "MAPE: input scaling", "MAPE: heterogeneous configs"],
+        &[
+            "workload",
+            "MAPE: cluster scaling",
+            "MAPE: input scaling",
+            "MAPE: heterogeneous configs",
+        ],
         &rows,
     );
 
-    let mean_of = |f: fn(&WhatIfRow) -> f64| {
-        models::stats::mean(&json.iter().map(f).collect::<Vec<_>>())
-    };
+    let mean_of =
+        |f: fn(&WhatIfRow) -> f64| models::stats::mean(&json.iter().map(f).collect::<Vec<_>>());
     let homo = mean_of(|r| r.mape_cluster_scaling).min(mean_of(|r| r.mape_input_scaling));
     let hetero = mean_of(|r| r.mape_hetero_configs);
     println!("\nshape check (§II-B: 'less accuracy with heterogeneous … workloads'):");

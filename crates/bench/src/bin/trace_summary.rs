@@ -1,0 +1,239 @@
+//! **trace_summary** — replays a structured JSONL trace (written by an
+//! [`obs::JsonlSink`]) into a human-readable latency/cost breakdown.
+//!
+//! For every span name it reports call count, total/mean/min/max/p95
+//! wall time and the share of the root span's duration; counter samples
+//! and instant events are listed after the latency table.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace_summary -- trace.jsonl
+//! cargo run --release -p bench --bin trace_summary -- --demo
+//! ```
+//!
+//! `--demo` runs one default [`SeamlessTuner::tune`] session with a
+//! JSONL sink attached to `results/demo_trace.jsonl` (and a Chrome
+//! trace next to it, loadable in `chrome://tracing` / Perfetto), then
+//! summarizes the file it just wrote.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use obs::{Event, EventKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.first().map(String::as_str) {
+        Some("--demo") => match write_demo_trace() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("demo trace failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(p) => p.to_owned(),
+        None => {
+            eprintln!("usage: trace_summary <trace.jsonl> | --demo");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let events = match obs::read_jsonl_file(&path) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        eprintln!("{path}: no events");
+        return ExitCode::FAILURE;
+    }
+    println!("# Trace summary: {path} ({} events)", events.len());
+    print_span_table(&events);
+    print_counters(&events);
+    print_instants(&events);
+    ExitCode::SUCCESS
+}
+
+/// Per-span-name latency aggregate over `SpanEnd` durations.
+#[derive(Default)]
+struct SpanAgg {
+    durs_ns: Vec<u64>,
+}
+
+impl SpanAgg {
+    fn total(&self) -> u64 {
+        self.durs_ns.iter().sum()
+    }
+
+    fn quantile(&mut self, q: f64) -> u64 {
+        self.durs_ns.sort_unstable();
+        if self.durs_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.durs_ns.len() - 1) as f64 * q).round() as usize;
+        self.durs_ns[idx]
+    }
+}
+
+fn span_durations(events: &[Event]) -> BTreeMap<String, SpanAgg> {
+    let mut by_name: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for e in events {
+        if e.kind != EventKind::SpanEnd {
+            continue;
+        }
+        let Some(dur) = e.field("dur_ns").and_then(|f| f.as_u64()) else {
+            continue;
+        };
+        by_name.entry(e.name.clone()).or_default().durs_ns.push(dur);
+    }
+    by_name
+}
+
+fn print_span_table(events: &[Event]) {
+    let mut by_name = span_durations(events);
+    if by_name.is_empty() {
+        println!("\n(no completed spans)");
+        return;
+    }
+    // Wall clock covered by the trace: first to last timestamp.
+    let first = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    let last = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+    let wall = (last - first).max(1);
+
+    let mut rows: Vec<(String, usize, u64, u64, u64, u64, u64)> = by_name
+        .iter_mut()
+        .map(|(name, agg)| {
+            let n = agg.durs_ns.len();
+            let total = agg.total();
+            let mean = total / n as u64;
+            let min = *agg.durs_ns.iter().min().unwrap_or(&0);
+            let max = *agg.durs_ns.iter().max().unwrap_or(&0);
+            let p95 = agg.quantile(0.95);
+            (name.clone(), n, total, mean, min, max, p95)
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.2)); // heaviest first
+
+    println!(
+        "\n## Span latency (heaviest first; wall = {})",
+        fmt_ns(wall)
+    );
+    println!(
+        "| {:<18} | {:>6} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>6} |",
+        "span", "count", "total", "mean", "min", "max", "p95", "%wall"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(20),
+        "-".repeat(8),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(8)
+    );
+    for (name, n, total, mean, min, max, p95) in rows {
+        println!(
+            "| {:<18} | {:>6} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>5.1}% |",
+            name,
+            n,
+            fmt_ns(total),
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            fmt_ns(p95),
+            100.0 * total as f64 / wall as f64
+        );
+    }
+}
+
+fn print_counters(events: &[Event]) {
+    // Counter samples carry the running value; report the last one seen.
+    let mut last: BTreeMap<String, f64> = BTreeMap::new();
+    for e in events {
+        if e.kind != EventKind::Counter {
+            continue;
+        }
+        if let Some(v) = e.field("value").and_then(|f| f.as_f64()) {
+            last.insert(e.name.clone(), v);
+        }
+    }
+    if last.is_empty() {
+        return;
+    }
+    println!("\n## Counters (final value)");
+    for (name, v) in last {
+        println!("  {name:<30} {v}");
+    }
+}
+
+fn print_instants(events: &[Event]) {
+    let instants: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant)
+        .collect();
+    if instants.is_empty() {
+        return;
+    }
+    println!("\n## Instant events ({})", instants.len());
+    let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &instants {
+        *by_name.entry(e.name.as_str()).or_default() += 1;
+    }
+    for (name, n) in by_name {
+        println!("  {name:<30} ×{n}");
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Runs one default end-to-end tuning with a JSONL sink attached and
+/// returns the trace path.
+fn write_demo_trace() -> std::io::Result<String> {
+    use seamless_core::{HistoryStore, SeamlessTuner, ServiceConfig, SimEnvironment};
+    use workloads::{DataScale, Wordcount, Workload};
+
+    std::fs::create_dir_all("results")?;
+    let jsonl_path = "results/demo_trace.jsonl".to_owned();
+    let sink = obs::JsonlSink::create(&jsonl_path)?;
+    obs::install(sink);
+
+    let svc = SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::dedicated(42),
+        ServiceConfig::default(),
+    );
+    let job = Wordcount::new().job(DataScale::Tiny);
+    let out = svc.tune("demo", "wordcount", &job, 1);
+    eprintln!(
+        "demo tune finished: best runtime {:.1}s, tuning cost ${:.2}",
+        out.best_runtime_s,
+        out.tuning_cost_usd()
+    );
+    obs::registry().publish();
+    obs::uninstall_all();
+
+    // A Chrome trace next to the JSONL, for chrome://tracing / Perfetto.
+    let events = obs::read_jsonl_file(&jsonl_path)?;
+    obs::write_chrome_trace("results/demo_trace.json", &events)?;
+    eprintln!("wrote results/demo_trace.jsonl and results/demo_trace.json");
+
+    // The in-process metrics the same run populated.
+    eprintln!("\n{}", obs::registry().snapshot());
+    Ok(jsonl_path)
+}

@@ -169,7 +169,13 @@ mod tests {
         let cfg = confspace::spark::spark_space()
             .default_configuration()
             .with(confspace::spark::names::EXECUTOR_MEMORY_MB, 32768i64);
-        let s = eval_config(&cluster, &job, &cfg, InterferenceModel::none(), &seeds(2, 2));
+        let s = eval_config(
+            &cluster,
+            &job,
+            &cfg,
+            InterferenceModel::none(),
+            &seeds(2, 2),
+        );
         assert_eq!(s.crash_frac, 1.0);
         assert_eq!(s.mean_runtime_s, FAILURE_PENALTY_S);
     }
@@ -210,7 +216,9 @@ pub fn eval_pool(
         }
     })
     .expect("evaluation threads do not panic");
-    out.into_iter().map(|s| s.expect("every slot filled")).collect()
+    out.into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

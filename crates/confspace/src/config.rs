@@ -202,7 +202,9 @@ mod tests {
 
     #[test]
     fn filtered_keeps_subset() {
-        let cfg = Configuration::new().with("spark.a", 1i64).with("cloud.b", 2i64);
+        let cfg = Configuration::new()
+            .with("spark.a", 1i64)
+            .with("cloud.b", 2i64);
         let only_spark = cfg.filtered(|k| k.starts_with("spark."));
         assert!(only_spark.contains("spark.a"));
         assert!(!only_spark.contains("cloud.b"));

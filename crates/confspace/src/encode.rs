@@ -189,7 +189,10 @@ mod tests {
     fn log_param_decodes_geometrically() {
         let s = ParamSpace::new().with(ParamDef::log_float("g", 1.0, 100.0, 1.0, ""));
         let mid = s.decode(&[0.5]).float("g");
-        assert!((mid - 10.0).abs() < 1e-6, "log midpoint should be 10, got {mid}");
+        assert!(
+            (mid - 10.0).abs() < 1e-6,
+            "log midpoint should be 10, got {mid}"
+        );
     }
 
     #[test]

@@ -344,7 +344,10 @@ mod tests {
             seen_a |= c.int("n") == 1;
             seen_b |= c.int("n") == 32;
         }
-        assert!(seen_a && seen_b, "crossover should draw genes from both parents");
+        assert!(
+            seen_a && seen_b,
+            "crossover should draw genes from both parents"
+        );
     }
 
     #[test]

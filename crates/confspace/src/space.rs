@@ -23,10 +23,7 @@ pub struct Constraint {
 
 impl Constraint {
     /// Creates a constraint from a name and a predicate.
-    pub fn new(
-        name: &str,
-        check: impl Fn(&Configuration) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub fn new(name: &str, check: impl Fn(&Configuration) -> bool + Send + Sync + 'static) -> Self {
         Constraint {
             name: name.to_owned(),
             check: Arc::new(check),
@@ -46,7 +43,9 @@ impl Constraint {
 
 impl fmt::Debug for Constraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Constraint").field("name", &self.name).finish()
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

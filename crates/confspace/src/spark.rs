@@ -38,8 +38,7 @@ pub mod names {
     /// `spark.reducer.maxSizeInFlight` (MiB)
     pub const REDUCER_MAX_SIZE_IN_FLIGHT_MB: &str = "spark.reducer.maxSizeInFlight.mb";
     /// `spark.shuffle.sort.bypassMergeThreshold`
-    pub const SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD: &str =
-        "spark.shuffle.sort.bypassMergeThreshold";
+    pub const SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD: &str = "spark.shuffle.sort.bypassMergeThreshold";
     /// `spark.rdd.compress`
     pub const RDD_COMPRESS: &str = "spark.rdd.compress";
     /// `spark.serializer`
@@ -249,10 +248,7 @@ pub fn spark_space() -> ParamSpace {
         ))
         .with_constraint(Constraint::new(
             "speculation.quantile >= 0.5 when speculation enabled",
-            |c| {
-                !c.bool(names::SPECULATION)
-                    || c.float(names::SPECULATION_QUANTILE) >= 0.5
-            },
+            |c| !c.bool(names::SPECULATION) || c.float(names::SPECULATION_QUANTILE) >= 0.5,
         ))
 }
 

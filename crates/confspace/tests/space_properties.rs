@@ -3,8 +3,7 @@
 //! their contracts for any space a downstream user could define.
 
 use confspace::{
-    Configuration, DivideAndDiverge, LatinHypercube, ParamDef, ParamSpace, Sampler,
-    UniformSampler,
+    Configuration, DivideAndDiverge, LatinHypercube, ParamDef, ParamSpace, Sampler, UniformSampler,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -32,7 +31,7 @@ fn arb_param(idx: usize) -> impl Strategy<Value = ParamDef> {
         (2usize..5).prop_map(move |n| {
             let choices: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
             let refs: Vec<&str> = choices.iter().map(String::as_str).collect();
-            ParamDef::categorical(&format!("p{idx}"), &refs, &refs[0], "generated")
+            ParamDef::categorical(&format!("p{idx}"), &refs, refs[0], "generated")
         }),
     ]
 }

@@ -135,12 +135,9 @@ mod tests {
         let fast_pricey = obs(10.0, 1.0);
         let slow_cheap = obs(100.0, 0.1);
         assert!(
-            TuningGoal::MinRuntime.score(&fast_pricey)
-                < TuningGoal::MinRuntime.score(&slow_cheap)
+            TuningGoal::MinRuntime.score(&fast_pricey) < TuningGoal::MinRuntime.score(&slow_cheap)
         );
-        assert!(
-            TuningGoal::MinCost.score(&slow_cheap) < TuningGoal::MinCost.score(&fast_pricey)
-        );
+        assert!(TuningGoal::MinCost.score(&slow_cheap) < TuningGoal::MinCost.score(&fast_pricey));
     }
 
     #[test]
@@ -180,7 +177,8 @@ mod tests {
         let job = Terasort::new().job(DataScale::Tiny);
         let disc = SeamlessTuner::house_default();
         let tune = |goal: TuningGoal| -> ClusterSpec {
-            let inner = CloudObjective::new(job.clone(), disc.clone(), &SimEnvironment::dedicated(9));
+            let inner =
+                CloudObjective::new(job.clone(), disc.clone(), &SimEnvironment::dedicated(9));
             let mut obj = GoalObjective::new(inner, goal);
             let mut session = TuningSession::new(TunerKind::BayesOpt, 21);
             let outcome = session.run(&mut obj, 18);

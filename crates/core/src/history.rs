@@ -49,11 +49,16 @@ impl HistoryStore {
 
     /// Appends a record, assigning its sequence number.
     pub fn insert(&self, mut record: ExecutionRecord) -> u64 {
-        let mut records = self.records.write();
-        let seq = records.len() as u64;
-        record.seq = seq;
-        records.push(record);
-        seq
+        let reg = obs::registry();
+        reg.counter("history.inserts").inc();
+        reg.histogram("history.insert_s").time(|| {
+            let mut records = self.records.write();
+            let seq = records.len() as u64;
+            record.seq = seq;
+            records.push(record);
+            reg.gauge("history.records").set(records.len() as f64);
+            seq
+        })
     }
 
     /// Number of records.
@@ -80,14 +85,18 @@ impl HistoryStore {
         k: usize,
         exclude_client: Option<&str>,
     ) -> Vec<ExecutionRecord> {
-        let records = self.records.read();
-        let mut scored: Vec<(f64, &ExecutionRecord)> = records
-            .iter()
-            .filter(|r| exclude_client.is_none_or(|c| r.client != c))
-            .map(|r| (query.distance(&r.signature), r))
-            .collect();
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-        scored.into_iter().take(k).map(|(_, r)| r.clone()).collect()
+        let reg = obs::registry();
+        reg.counter("history.queries").inc();
+        reg.histogram("history.query_s").time(|| {
+            let records = self.records.read();
+            let mut scored: Vec<(f64, &ExecutionRecord)> = records
+                .iter()
+                .filter(|r| exclude_client.is_none_or(|c| r.client != c))
+                .map(|r| (query.distance(&r.signature), r))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            scored.into_iter().take(k).map(|(_, r)| r.clone()).collect()
+        })
     }
 
     /// The best (fastest) recorded configuration among the `k` most
@@ -107,11 +116,7 @@ impl HistoryStore {
     /// Best known runtime among similar records — the reference point
     /// for "within X% of the runtime of similar workloads ever run in
     /// the cloud" (§IV-D).
-    pub fn best_similar_runtime(
-        &self,
-        query: &WorkloadSignature,
-        k: usize,
-    ) -> Option<f64> {
+    pub fn best_similar_runtime(&self, query: &WorkloadSignature, k: usize) -> Option<f64> {
         self.most_similar(query, k, None)
             .into_iter()
             .map(|r| r.runtime_s)
@@ -195,7 +200,9 @@ mod tests {
         store.insert(record("a", 90.0, 30.0));
         store.insert(record("b", 88.0, 12.0));
         store.insert(record("c", 87.0, 25.0));
-        let best = store.best_similar_config(&sig(89.0, 11.0), 3, None).unwrap();
+        let best = store
+            .best_similar_config(&sig(89.0, 11.0), 3, None)
+            .unwrap();
         assert_eq!(best.runtime_s, 12.0);
         assert_eq!(store.best_similar_runtime(&sig(89.0, 11.0), 3), Some(12.0));
     }

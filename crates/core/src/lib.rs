@@ -48,9 +48,9 @@ pub use objective::{
     FAILURE_PENALTY_S,
 };
 pub use retune::{RetuneMonitor, RetunePolicy};
+pub use sensitivity::{additive_effects, permutation_importance, SensitivityReport};
 pub use service::{ManagedWorkload, SeamlessTuner, ServiceConfig, ServiceOutcome};
 pub use slo::{AmortizationLedger, SloReport};
-pub use sensitivity::{additive_effects, permutation_importance, SensitivityReport};
 pub use transfer::{ClusteredHistory, TransferTuner};
 pub use tuner::{Tuner, TunerKind, TuningOutcome, TuningSession};
 pub use whatif::JobProfile;

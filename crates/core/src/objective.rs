@@ -367,7 +367,10 @@ mod tests {
         let a = obj.evaluate(&cfg).runtime_s;
         let b = obj.evaluate(&cfg).runtime_s;
         assert_ne!(a, b, "objective should be stochastic");
-        assert!((a - b).abs() / a < 0.5, "noise should be bounded: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a < 0.5,
+            "noise should be bounded: {a} vs {b}"
+        );
     }
 
     #[test]

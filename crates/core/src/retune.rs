@@ -107,6 +107,7 @@ impl RetuneMonitor {
                 None => self.baseline_signature = Some(sig),
                 Some(base) => {
                     if !base.same_size_regime(&sig) {
+                        self.emit_trigger(RetuneReason::InputRegimeChange);
                         return Some(RetuneReason::InputRegimeChange);
                     }
                 }
@@ -118,9 +119,22 @@ impl RetuneMonitor {
         }
         let detector = self.detector.as_mut().expect("just initialized");
         if detector.update(obs.runtime_s) {
+            self.emit_trigger(RetuneReason::RuntimeDrift);
             return Some(RetuneReason::RuntimeDrift);
         }
         None
+    }
+
+    fn emit_trigger(&self, reason: RetuneReason) {
+        obs::registry().counter("retune.triggers").inc();
+        obs::instant(
+            "retune.trigger",
+            obs::fields![
+                ("policy", self.policy.label()),
+                ("reason", format!("{reason:?}")),
+                ("runs_since_reset", self.runs_since_reset)
+            ],
+        );
     }
 
     /// Resets after a re-tuning completes (the new configuration's
@@ -216,5 +230,94 @@ mod tests {
     fn labels_are_informative() {
         assert_eq!(RetunePolicy::FixedThresholdPct(25).label(), "fixed+25%");
         assert_eq!(RetunePolicy::PageHinkley.label(), "page-hinkley");
+    }
+
+    /// Feeds the monitor a synthetic drifting workload — 15 stationary
+    /// runs at 100 s, then a persistent +40% degradation — and collects
+    /// every emitted reason.
+    fn reasons_on_drift(policy: RetunePolicy) -> Vec<RetuneReason> {
+        let mut m = RetuneMonitor::new(policy);
+        let mut reasons = Vec::new();
+        for i in 0..45 {
+            let runtime = if i < 15 { 100.0 } else { 140.0 };
+            if let Some(r) = m.observe(&obs(runtime)) {
+                reasons.push(r);
+                m.reset();
+            }
+        }
+        reasons
+    }
+
+    #[test]
+    fn every_policy_reports_runtime_drift_on_sustained_degradation() {
+        for policy in [
+            RetunePolicy::FixedThresholdPct(20),
+            RetunePolicy::PageHinkley,
+            RetunePolicy::Cusum,
+        ] {
+            let reasons = reasons_on_drift(policy);
+            assert!(
+                !reasons.is_empty(),
+                "{} never fired on a +40% sustained drift",
+                policy.label()
+            );
+            assert_eq!(
+                reasons[0],
+                RetuneReason::RuntimeDrift,
+                "{} first reason",
+                policy.label()
+            );
+            assert!(
+                reasons.iter().all(|r| *r == RetuneReason::RuntimeDrift),
+                "{} emitted a non-drift reason without metrics: {reasons:?}",
+                policy.label()
+            );
+        }
+    }
+
+    fn obs_with_input(runtime: f64, input_mb: f64) -> Observation {
+        use simcluster::ExecMetrics;
+        Observation {
+            config: Configuration::new(),
+            runtime_s: runtime,
+            cost_usd: 0.0,
+            metrics: Some(ExecMetrics {
+                runtime_s: runtime,
+                input_mb,
+                ..Default::default()
+            }),
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn input_regime_change_preempts_runtime_drift_for_every_policy() {
+        for policy in [
+            RetunePolicy::FixedThresholdPct(20),
+            RetunePolicy::PageHinkley,
+            RetunePolicy::Cusum,
+        ] {
+            let mut m = RetuneMonitor::new(policy);
+            let mut reasons = Vec::new();
+            for i in 0..20 {
+                // The input grows 100x at run 10 (runtime grows with it:
+                // both signals are present; the signature must win).
+                let (rt, mb) = if i < 10 {
+                    (100.0, 100.0)
+                } else {
+                    (400.0, 10_000.0)
+                };
+                if let Some(r) = m.observe(&obs_with_input(rt, mb)) {
+                    reasons.push(r);
+                    m.reset();
+                }
+            }
+            assert_eq!(
+                reasons.first(),
+                Some(&RetuneReason::InputRegimeChange),
+                "{} must attribute the change to input growth: {reasons:?}",
+                policy.label()
+            );
+        }
     }
 }

@@ -106,9 +106,11 @@ pub fn additive_effects(space: &ParamSpace, history: &[Observation]) -> Sensitiv
                     (v, m)
                 })
                 .collect();
-            let (lo, hi) = curve.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &(_, m)| {
-                (l.min(m), h.max(m))
-            });
+            let (lo, hi) = curve
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &(_, m)| {
+                    (l.min(m), h.max(m))
+                });
             ParameterEffect {
                 name: p.name.clone(),
                 leverage: hi - lo,

@@ -66,7 +66,7 @@ impl Default for ServiceConfig {
 }
 
 /// The outcome of one end-to-end service tuning.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceOutcome {
     /// Chosen cloud configuration (stage 1).
     pub cloud_config: Configuration,
@@ -141,7 +141,13 @@ impl SeamlessTuner {
 
     /// End-to-end tuning of `job` for tenant `client` (Fig. 1).
     pub fn tune(&self, client: &str, workload: &str, job: &JobSpec, seed: u64) -> ServiceOutcome {
+        let _tune = obs::span("tune")
+            .with("client", client)
+            .with("workload", workload);
+        obs::registry().counter("service.tunings").inc();
+
         // --- Probe: one run on the house defaults to characterize. ---
+        let probe_span = obs::span("probe");
         let probe_cluster = ClusterSpec::table1_testbed();
         let mut probe_obj = DiscObjective::new(
             probe_cluster,
@@ -157,8 +163,10 @@ impl SeamlessTuner {
             .as_ref()
             .map(WorkloadSignature::from_metrics)
             .unwrap_or_else(|| WorkloadSignature::from_metrics(&Default::default()));
+        drop(probe_span);
 
         // --- Stage 1: cloud configuration. ---
+        let stage1_span = obs::span("stage1").with("budget", self.config.stage1_budget);
         let mut cloud_obj = CloudObjective::new(
             job.clone(),
             Self::house_default(),
@@ -175,9 +183,11 @@ impl SeamlessTuner {
             .unwrap_or_else(|| confspace::cloud::cloud_space().default_configuration());
         let cluster = ClusterSpec::from_config(&cloud_config)
             .unwrap_or_else(|_| ClusterSpec::table1_testbed());
+        drop(stage1_span);
 
         // --- Stage 2: DISC configuration on the chosen cluster, ---
         // --- warm-started from similar tenants.                 ---
+        let transfer_span = obs::span("transfer").with("k", self.config.transfer_k);
         let disc_space = confspace::spark::spark_space();
         let raw_donations: Vec<Observation> = if self.config.transfer_k == 0 {
             Vec::new()
@@ -185,8 +195,7 @@ impl SeamlessTuner {
             // AROMA-style: donate from the signature's k-medoids cluster.
             use rand::SeedableRng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(self.env.seed ^ seed ^ 0xC1);
-            let clusters =
-                crate::transfer::ClusteredHistory::build(&self.store, 3, &mut rng);
+            let clusters = crate::transfer::ClusteredHistory::build(&self.store, 3, &mut rng);
             crate::transfer::records_to_observations(
                 clusters.donors_for(&signature, self.config.transfer_k * 2),
             )
@@ -207,6 +216,17 @@ impl SeamlessTuner {
             .take(self.config.transfer_k)
             .collect();
         let used_transfer = !donated.is_empty();
+        drop(
+            transfer_span
+                .with("donated", donated.len())
+                .with("used", used_transfer),
+        );
+        if used_transfer {
+            obs::registry().counter("service.transfers").inc();
+        }
+        let stage2_span = obs::span("stage2")
+            .with("budget", self.config.stage2_budget)
+            .with("transfer", used_transfer);
         let mut disc_obj = DiscObjective::new(
             cluster.clone(),
             job.clone(),
@@ -227,13 +247,17 @@ impl SeamlessTuner {
         // The provider's house default is always a candidate: the
         // service never deploys a configuration worse than its own
         // baseline (one evaluation charged to the stage-2 budget).
-        let incumbent = disc_obj.evaluate(&Self::house_default());
+        let incumbent = {
+            let _incumbent = obs::span("incumbent");
+            disc_obj.evaluate(&Self::house_default())
+        };
         s2.history.push(incumbent);
         s2.best = crate::tuner::best_observation(&s2.history).cloned();
         let disc_config = s2
             .best_config()
             .cloned()
             .unwrap_or_else(Self::house_default);
+        drop(stage2_span);
 
         // --- Record everything the provider witnessed. ---
         self.record(client, workload, &probe);
@@ -318,26 +342,29 @@ impl ManagedWorkload {
     /// and the number of tuning executions spent before it (0 normally).
     pub fn run_once(&mut self) -> (Observation, usize) {
         self.runs += 1;
-        let obs = self.objective.evaluate(&self.config);
+        let _run = obs::span("managed_run").with("run", self.runs);
+        let observed = self.objective.evaluate(&self.config);
         let mut tuning_spent = 0;
-        if let Some(reason) = self.monitor.observe(&obs) {
+        if let Some(reason) = self.monitor.observe(&observed) {
             self.retunings.push((reason, self.runs));
-            let mut session = TuningSession::new(
-                self.service.tuner,
-                self.seed ^ (self.runs as u64) << 8,
-            );
+            let _retune = obs::span("retune")
+                .with("reason", format!("{reason:?}"))
+                .with("run", self.runs);
+            obs::registry().counter("service.retunes").inc();
+            let mut session =
+                TuningSession::new(self.service.tuner, self.seed ^ (self.runs as u64) << 8);
             let outcome = session.run(&mut self.objective, self.service.retune_budget);
             tuning_spent = outcome.history.len();
             if let Some(best) = outcome.best_config() {
                 // Only adopt the re-tuned configuration if it beats the
                 // incumbent's latest observation.
-                if outcome.best_runtime_s() < obs.runtime_s {
+                if outcome.best_runtime_s() < observed.runtime_s {
                     self.config = best.clone();
                 }
             }
             self.monitor.reset();
         }
-        (obs, tuning_spent)
+        (observed, tuning_spent)
     }
 
     /// Total production runs so far.
@@ -372,7 +399,7 @@ mod tests {
         assert!(out.best_runtime_s > 0.0);
         assert_eq!(out.stage1.history.len(), 4);
         assert_eq!(out.stage2.history.len(), 6);
-        assert!(svc.store().len() > 0, "provider recorded the executions");
+        assert!(!svc.store().is_empty(), "provider recorded the executions");
     }
 
     #[test]
@@ -399,11 +426,8 @@ mod tests {
         let job = Pagerank::new().job(DataScale::Tiny);
         let out = svc.tune("carol", "pr", &job, 3);
         // Compare to the house default on the *same* cluster.
-        let mut base_obj = DiscObjective::new(
-            out.cluster.clone(),
-            job,
-            &SimEnvironment::dedicated(99),
-        );
+        let mut base_obj =
+            DiscObjective::new(out.cluster.clone(), job, &SimEnvironment::dedicated(99));
         let base = base_obj.evaluate(&SeamlessTuner::house_default());
         assert!(
             out.best_runtime_s <= base.runtime_s * 1.1,
@@ -442,7 +466,10 @@ mod tests {
                 break;
             }
         }
-        assert!(retuned, "managed execution should re-tune after input growth");
+        assert!(
+            retuned,
+            "managed execution should re-tune after input growth"
+        );
         assert!(!managed.retunings.is_empty());
     }
 

@@ -191,7 +191,11 @@ mod tests {
 
     #[test]
     fn attainment_curve_fractions() {
-        let reports = vec![report(101.0, 100.0), report(120.0, 100.0), report(200.0, 100.0)];
+        let reports = vec![
+            report(101.0, 100.0),
+            report(120.0, 100.0),
+            report(200.0, 100.0),
+        ];
         let curve = attainment_curve(&reports, &[0.05, 0.25, 1.5]);
         assert_eq!(curve[0], (0.05, 1.0 / 3.0));
         assert!((curve[1].1 - 2.0 / 3.0).abs() < 1e-9);

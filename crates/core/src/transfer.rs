@@ -28,9 +28,13 @@ pub fn donated_observations(
     exclude_client: Option<&str>,
     target_scale_s: f64,
 ) -> Vec<Observation> {
+    let _span = obs::span("donor_search").with("k", k);
     let mut records = store.most_similar(query, 3 * k, exclude_client);
     records.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
     records.truncate(k);
+    obs::registry()
+        .counter("transfer.donations")
+        .add(records.len() as u64);
     if records.is_empty() {
         return Vec::new();
     }
@@ -320,11 +324,7 @@ impl ClusteredHistory {
     /// # Panics
     ///
     /// Panics when the store holds fewer records than `k`.
-    pub fn build(
-        store: &HistoryStore,
-        k: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> Self {
+    pub fn build(store: &HistoryStore, k: usize, rng: &mut dyn rand::RngCore) -> Self {
         let records = store.snapshot();
         assert!(
             records.len() >= k,

@@ -233,7 +233,10 @@ mod tests {
         let _ = t.propose(&s, &history, &mut rng);
         // After diverging, bounds must span the full space again.
         let width: f64 = t.hi.iter().zip(&t.lo).map(|(h, l)| h - l).sum();
-        assert!((width - 2.0).abs() < 1e-9, "expected full bounds, got {width}");
+        assert!(
+            (width - 2.0).abs() < 1e-9,
+            "expected full bounds, got {width}"
+        );
     }
 
     #[test]

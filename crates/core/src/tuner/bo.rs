@@ -100,7 +100,12 @@ impl Tuner for BayesOpt {
         let kept = self.subsample(history);
         let owned: Vec<Observation> = kept.into_iter().cloned().collect();
         let (x, y) = encode_history(space, &owned);
-        let gp = GpRegressor::fit_auto(&x, &y, self.kernel);
+        let gp = {
+            let _fit = obs::span("surrogate_fit").with("points", y.len());
+            obs::registry()
+                .histogram("bo.surrogate_fit_s")
+                .time(|| GpRegressor::fit_auto(&x, &y, self.kernel))
+        };
 
         let best_ln = best_observation(history)
             .map(|o| o.runtime_s.max(1e-3).ln())
@@ -114,16 +119,19 @@ impl Tuner for BayesOpt {
             }
         }
 
-        cands
-            .into_iter()
-            .map(|c| {
-                let (m, s) = gp.predict(&space.encode(&c));
-                let ei = expected_improvement(m, s, best_ln);
-                (c, ei)
-            })
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(c, _)| c)
-            .unwrap_or_else(|| UniformSampler.sample(space, rng))
+        let _acq = obs::span("acquisition").with("candidates", cands.len());
+        obs::registry().histogram("bo.acquisition_s").time(|| {
+            cands
+                .into_iter()
+                .map(|c| {
+                    let (m, s) = gp.predict(&space.encode(&c));
+                    let ei = expected_improvement(m, s, best_ln);
+                    (c, ei)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(c, _)| c)
+                .unwrap_or_else(|| UniformSampler.sample(space, rng))
+        })
     }
 
     fn reset(&mut self) {

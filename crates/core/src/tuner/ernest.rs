@@ -181,7 +181,11 @@ mod tests {
         // Synthetic truth: perfectly parallel work, m5 slightly best.
         let eval = |c: &Configuration| {
             let m = c.int(cn::NODE_COUNT) as f64;
-            let fam = if c.str(cn::INSTANCE_FAMILY) == "m5" { 0.9 } else { 1.0 };
+            let fam = if c.str(cn::INSTANCE_FAMILY) == "m5" {
+                0.9
+            } else {
+                1.0
+            };
             fam * (5.0 + 200.0 / m + 0.1 * m)
         };
         for _ in 0..16 {

@@ -63,14 +63,38 @@ impl Tuner for Genetic {
             }
         }
 
+        let mut ranked: Vec<&Observation> = history.iter().filter(|o| o.is_ok()).collect();
+        ranked.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
+
+        // The forest surrogate is piecewise-constant, so within its
+        // best leaf it cannot rank candidates; every third proposal is
+        // a direct Gaussian nudge of the incumbent, refining below the
+        // surrogate's resolution.
+        if history.len() % 3 == 2 {
+            if let Some(best) = ranked.first() {
+                let enc = space.encode(&best.config);
+                let nudged: Vec<f64> = enc
+                    .iter()
+                    .map(|v| {
+                        let u1: f64 = rng.gen::<f64>().max(1e-12);
+                        let u2: f64 = rng.gen();
+                        let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        (v + 0.06 * gauss).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                let cand = space.decode(&nudged);
+                if space.validate(&cand).is_ok() {
+                    return cand;
+                }
+            }
+        }
+
         // Fit the surrogate on everything observed so far.
         let (x, y) = encode_history(space, history);
         let forest = RandomForest::fit(&x, &y, ForestParams::default(), rng);
         let score = |c: &Configuration| forest.predict(&space.encode(c));
 
         // Seed the population with the best observed configs + randoms.
-        let mut ranked: Vec<&Observation> = history.iter().filter(|o| o.is_ok()).collect();
-        ranked.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
         let mut pop: Vec<Configuration> = ranked
             .iter()
             .take(self.population / 4)
@@ -151,7 +175,10 @@ mod tests {
         }
         let best = crate::tuner::best_observation(&history).unwrap().runtime_s;
         let init_best = crate::tuner::best_so_far(&history)[t.init_samples - 1];
-        assert!(best <= init_best, "GA should not regress: {best} vs {init_best}");
+        assert!(
+            best <= init_best,
+            "GA should not regress: {best} vs {init_best}"
+        );
         assert!(best < 9.0, "best {best}");
     }
 

@@ -65,8 +65,7 @@ impl Tuner for HillClimb {
         // before it?
         if let Some(last) = history.last() {
             let prior_best = best_observation(&history[..history.len() - 1]);
-            let improved = last.is_ok()
-                && prior_best.is_none_or(|p| last.runtime_s < p.runtime_s);
+            let improved = last.is_ok() && prior_best.is_none_or(|p| last.runtime_s < p.runtime_s);
             if improved {
                 self.stall = 0;
                 self.scale = 0.08;

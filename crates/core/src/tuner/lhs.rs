@@ -60,8 +60,7 @@ mod tests {
 
     #[test]
     fn batches_are_stratified() {
-        let space =
-            ParamSpace::new().with(confspace::ParamDef::float("f", 0.0, 1.0, 0.5, ""));
+        let space = ParamSpace::new().with(confspace::ParamDef::float("f", 0.0, 1.0, 0.5, ""));
         let mut t = LhsSearch::new(8);
         let mut rng = StdRng::seed_from_u64(2);
         let mut strata: Vec<usize> = (0..8)
@@ -76,8 +75,7 @@ mod tests {
 
     #[test]
     fn reset_discards_pending() {
-        let space =
-            ParamSpace::new().with(confspace::ParamDef::float("f", 0.0, 1.0, 0.5, ""));
+        let space = ParamSpace::new().with(confspace::ParamDef::float("f", 0.0, 1.0, 0.5, ""));
         let mut t = LhsSearch::new(4);
         let mut rng = StdRng::seed_from_u64(3);
         let _ = t.propose(&space, &[], &mut rng);

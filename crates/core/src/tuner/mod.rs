@@ -156,7 +156,7 @@ impl std::fmt::Display for TunerKind {
 }
 
 /// The result of one tuning session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuningOutcome {
     /// Every observation, in evaluation order (warm-start observations
     /// excluded).
@@ -227,10 +227,7 @@ pub fn best_observation(history: &[Observation]) -> Option<&Observation> {
 /// Encodes a history for surrogate models: features in `[0,1]^d`,
 /// targets as `ln(runtime)` (the log tames the failure penalty and the
 /// heavy right tail of runtime distributions).
-pub fn encode_history(
-    space: &ParamSpace,
-    history: &[Observation],
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+pub fn encode_history(space: &ParamSpace, history: &[Observation]) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x = history.iter().map(|o| space.encode(&o.config)).collect();
     let y = history.iter().map(|o| o.runtime_s.max(1e-3).ln()).collect();
     (x, y)
@@ -273,21 +270,42 @@ impl TuningSession {
 
     /// Runs `budget` evaluations against `objective`.
     pub fn run(&mut self, objective: &mut dyn Objective, budget: usize) -> TuningOutcome {
+        let _session = obs::span("tuning_session")
+            .with("tuner", self.tuner.name())
+            .with("budget", budget);
+        let reg = obs::registry();
         let mut history: Vec<Observation> = Vec::with_capacity(budget);
-        for _ in 0..budget {
-            let visible: Vec<Observation> = self
-                .warm
-                .iter()
-                .chain(history.iter())
-                .cloned()
-                .collect();
-            let cfg = self
-                .tuner
-                .propose(objective.space(), &visible, &mut self.rng);
-            let obs = objective.evaluate(&cfg);
-            history.push(obs);
+        for i in 0..budget {
+            let mut proposal = obs::span("proposal").with("idx", i);
+            let visible: Vec<Observation> =
+                self.warm.iter().chain(history.iter()).cloned().collect();
+            let cfg = {
+                let _propose = obs::span("propose");
+                reg.histogram("tuner.propose_s").time(|| {
+                    self.tuner
+                        .propose(objective.space(), &visible, &mut self.rng)
+                })
+            };
+            let observed = {
+                let _evaluate = obs::span("evaluate");
+                reg.histogram("objective.evaluate_s")
+                    .time(|| objective.evaluate(&cfg))
+            };
+            reg.counter("tuner.evaluations").inc();
+            if observed.failure.is_some() {
+                reg.counter("tuner.failed_evaluations").inc();
+            }
+            proposal.record("runtime_s", observed.runtime_s);
+            proposal.record("ok", observed.is_ok());
+            history.push(observed);
         }
         let best = best_observation(&history).cloned();
+        if let Some(b) = &best {
+            obs::instant(
+                "session_best",
+                obs::fields![("tuner", self.tuner.name()), ("runtime_s", b.runtime_s)],
+            );
+        }
         TuningOutcome { history, best }
     }
 
@@ -318,7 +336,12 @@ mod tests {
 
     #[test]
     fn best_so_far_is_monotone_and_skips_failures() {
-        let h = vec![obs(10.0, true), obs(50.0, false), obs(5.0, true), obs(7.0, true)];
+        let h = vec![
+            obs(10.0, true),
+            obs(50.0, false),
+            obs(5.0, true),
+            obs(7.0, true),
+        ];
         let curve = best_so_far(&h);
         assert_eq!(curve, vec![10.0, 10.0, 5.0, 5.0]);
     }

@@ -83,7 +83,12 @@ impl RlTuner {
         self.q = vec![0.0; self.actions.len()];
     }
 
-    fn apply(&self, space: &ParamSpace, cfg: &Configuration, action: (usize, Move)) -> Configuration {
+    fn apply(
+        &self,
+        space: &ParamSpace,
+        cfg: &Configuration,
+        action: (usize, Move),
+    ) -> Configuration {
         let (dim, mv) = action;
         let p = &space.params()[dim];
         let mut v = space.encode(cfg);
@@ -216,11 +221,7 @@ mod tests {
 
     #[test]
     fn learns_a_beneficial_toggle() {
-        let history = drive(
-            |c| if c.bool("b") { 50.0 } else { 100.0 },
-            25,
-            2,
-        );
+        let history = drive(|c| if c.bool("b") { 50.0 } else { 100.0 }, 25, 3);
         assert!(best_observation(&history).unwrap().config.bool("b"));
     }
 

@@ -122,9 +122,7 @@ impl JobProfile {
 
 /// Builds a profile directly from an [`Observation`], when it succeeded.
 pub fn profile_observation(env: &SparkEnv, obs: &Observation) -> Option<JobProfile> {
-    obs.metrics
-        .as_ref()
-        .map(|m| JobProfile::from_run(env, m))
+    obs.metrics.as_ref().map(|m| JobProfile::from_run(env, m))
 }
 
 #[cfg(test)]

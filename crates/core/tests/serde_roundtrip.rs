@@ -1,0 +1,66 @@
+//! Serialization round-trips for the service-level outcome types: a
+//! provider persists tuning outcomes (dashboards, audit, replay), so
+//! `TuningOutcome` and `ServiceOutcome` must survive JSON.
+
+use std::sync::Arc;
+
+use seamless_core::{
+    DiscObjective, HistoryStore, SeamlessTuner, ServiceConfig, ServiceOutcome, SimEnvironment,
+    TunerKind, TuningOutcome, TuningSession,
+};
+use simcluster::ClusterSpec;
+use workloads::{DataScale, Wordcount, Workload};
+
+fn small_outcome() -> TuningOutcome {
+    let mut obj = DiscObjective::new(
+        ClusterSpec::table1_testbed(),
+        Wordcount::new().job(DataScale::Tiny),
+        &SimEnvironment::dedicated(3),
+    );
+    TuningSession::new(TunerKind::Random, 5).run(&mut obj, 3)
+}
+
+#[test]
+fn tuning_outcome_round_trips_through_json() {
+    let out = small_outcome();
+    let json = serde_json::to_string(&out).expect("serializes");
+    let back: TuningOutcome = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.history.len(), out.history.len());
+    assert_eq!(
+        back.best.as_ref().map(|o| o.runtime_s),
+        out.best.as_ref().map(|o| o.runtime_s)
+    );
+    assert_eq!(
+        back.best_config().map(|c| format!("{c:?}")),
+        out.best_config().map(|c| format!("{c:?}"))
+    );
+}
+
+#[test]
+fn service_outcome_round_trips_through_json() {
+    let svc = SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::dedicated(11),
+        ServiceConfig {
+            stage1_budget: 2,
+            stage2_budget: 3,
+            ..ServiceConfig::default()
+        },
+    );
+    let job = Wordcount::new().job(DataScale::Tiny);
+    let out = svc.tune("roundtrip", "wc", &job, 1);
+
+    let json = serde_json::to_string(&out).expect("serializes");
+    let back: ServiceOutcome = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.best_runtime_s, out.best_runtime_s);
+    assert_eq!(back.used_transfer, out.used_transfer);
+    assert_eq!(back.stage1.history.len(), out.stage1.history.len());
+    assert_eq!(back.stage2.history.len(), out.stage2.history.len());
+    assert_eq!(back.cluster, out.cluster);
+    assert_eq!(
+        format!("{:?}", back.disc_config),
+        format!("{:?}", out.disc_config)
+    );
+    // The restored outcome still computes derived quantities.
+    assert!((back.tuning_cost_usd() - out.tuning_cost_usd()).abs() < 1e-12);
+}

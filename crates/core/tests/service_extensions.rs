@@ -6,9 +6,7 @@ use std::sync::Arc;
 use seamless_core::goal::{GoalObjective, TuningGoal};
 use seamless_core::service::ServiceConfig;
 use seamless_core::tuner::{TunerKind, TuningSession};
-use seamless_core::{
-    CloudObjective, HistoryStore, Objective, SeamlessTuner, SimEnvironment,
-};
+use seamless_core::{CloudObjective, HistoryStore, Objective, SeamlessTuner, SimEnvironment};
 use workloads::{DataScale, KMeans, Pagerank, Wordcount, Workload};
 
 #[test]

@@ -75,7 +75,10 @@ fn every_strategy_improves_on_the_sphere() {
                 break;
             }
         }
-        assert!(improved, "{kind} never improved ≥20% on a smooth bowl in 3 tries");
+        assert!(
+            improved,
+            "{kind} never improved ≥20% on a smooth bowl in 3 tries"
+        );
     }
 }
 
@@ -100,7 +103,11 @@ fn model_strategies_land_near_the_sphere_optimum() {
 
 #[test]
 fn tree_strategies_solve_the_step_surface() {
-    for kind in [TunerKind::RegressionTree, TunerKind::RandomForest, TunerKind::Genetic] {
+    for kind in [
+        TunerKind::RegressionTree,
+        TunerKind::RandomForest,
+        TunerKind::Genetic,
+    ] {
         let mut total = 0.0;
         for seed in 0..3u64 {
             total += run(kind, steps, 40, seed).last().unwrap();

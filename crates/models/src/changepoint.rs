@@ -232,7 +232,9 @@ mod tests {
 
     #[test]
     fn detectors_stay_quiet_on_stationary_stream() {
-        let stream = vec![100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 99.8, 100.0, 100.1, 99.9];
+        let stream = vec![
+            100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 99.8, 100.0, 100.1, 99.9,
+        ];
         let mut ph = PageHinkley::new(1.0, 60.0);
         let mut cs = Cusum::new(0.05, 1.0, 3);
         assert_eq!(feed(&mut ph, &stream), None);
@@ -258,7 +260,11 @@ mod tests {
         let mut ph = PageHinkley::new(1.0, 60.0);
         assert!(feed(&mut ph, &stream).is_some());
         ph.reset();
-        assert_eq!(feed(&mut ph, &vec![150.0; 10]), None, "new regime is the new normal");
+        assert_eq!(
+            feed(&mut ph, &[150.0; 10]),
+            None,
+            "new regime is the new normal"
+        );
     }
 
     #[test]

@@ -134,8 +134,18 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (x, y) = quadratic_data(40);
-        let fa = RandomForest::fit(&x, &y, ForestParams::default(), &mut StdRng::seed_from_u64(7));
-        let fb = RandomForest::fit(&x, &y, ForestParams::default(), &mut StdRng::seed_from_u64(7));
+        let fa = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let fb = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(fa.predict(&[0.3, 0.3]), fb.predict(&[0.3, 0.3]));
     }
 }

@@ -156,12 +156,7 @@ impl GpRegressor {
     /// # Panics
     ///
     /// Panics if `x` is empty or `x.len() != y.len()`.
-    pub fn fit(
-        x: &[Vec<f64>],
-        y: &[f64],
-        kernel: Kernel,
-        noise: f64,
-    ) -> Result<Self, LinalgError> {
+    pub fn fit(x: &[Vec<f64>], y: &[f64], kernel: Kernel, noise: f64) -> Result<Self, LinalgError> {
         assert!(!x.is_empty(), "GP needs at least one observation");
         assert_eq!(x.len(), y.len(), "X and y length mismatch");
         let y_mean = mean(y);
@@ -185,9 +180,7 @@ impl GpRegressor {
         // log marginal likelihood (standardized units).
         let data_fit: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
         let log_det: f64 = (0..n).map(|i| chol[(i, i)].ln()).sum();
-        let lml = -0.5 * data_fit
-            - log_det
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        let lml = -0.5 * data_fit - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
         Ok(GpRegressor {
             kernel,
@@ -213,9 +206,7 @@ impl GpRegressor {
         for &ls in &[0.1, 0.2, 0.4, 0.8, 1.6] {
             for &noise in &[1e-4, 1e-2, 5e-2] {
                 if let Ok(gp) = GpRegressor::fit(x, y, base.with_length_scale(ls), noise) {
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|b| gp.lml > b.lml);
+                    let better = best.as_ref().is_none_or(|b| gp.lml > b.lml);
                     if better {
                         best = Some(gp);
                     }
@@ -237,10 +228,7 @@ impl GpRegressor {
         let v = self.chol.solve_lower(&kstar);
         let kss = self.kernel.eval(q, q) + self.noise;
         let var = (kss - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
-        (
-            mean_std * self.y_std + self.y_mean,
-            var.sqrt() * self.y_std,
-        )
+        (mean_std * self.y_std + self.y_mean, var.sqrt() * self.y_std)
     }
 
     /// The fit's log marginal likelihood (standardized-target units).
@@ -266,7 +254,10 @@ pub fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
         return (best - mean).max(0.0);
     }
     let z = (best - mean) / std;
-    (best - mean) * normal_cdf(z) + std * normal_pdf(z)
+    // The erf approximation in normal_cdf has ~1.5e-7 absolute error,
+    // which can drive the sum slightly negative for very negative z;
+    // EI is non-negative by definition, so clamp.
+    ((best - mean) * normal_cdf(z) + std * normal_pdf(z)).max(0.0)
 }
 
 /// Lower confidence bound `mean − beta·std` (minimization).

@@ -33,9 +33,7 @@ impl RidgeRegression {
             .map(|j| mean(&x.iter().map(|r| r[j]).collect::<Vec<_>>()))
             .collect();
         let x_std: Vec<f64> = (0..d)
-            .map(|j| {
-                std_dev(&x.iter().map(|r| r[j]).collect::<Vec<_>>()).max(1e-9)
-            })
+            .map(|j| std_dev(&x.iter().map(|r| r[j]).collect::<Vec<_>>()).max(1e-9))
             .collect();
         let y_mean = mean(y);
         let xs: Vec<Vec<f64>> = x
@@ -111,10 +109,7 @@ impl ErnestModel {
     pub fn fit(obs: &[(f64, f64)], runtimes: &[f64]) -> Result<Self, LinalgError> {
         assert!(!obs.is_empty(), "Ernest needs at least one observation");
         assert_eq!(obs.len(), runtimes.len(), "length mismatch");
-        let rows: Vec<Vec<f64>> = obs
-            .iter()
-            .map(|&(m, s)| Self::features(m, s))
-            .collect();
+        let rows: Vec<Vec<f64>> = obs.iter().map(|&(m, s)| Self::features(m, s)).collect();
         let xm = Matrix::from_rows(&rows);
         let theta = ridge_solve(&xm, runtimes, 1e-6)?;
         Ok(ErnestModel { theta })

@@ -157,8 +157,7 @@ fn build<R: Rng + ?Sized>(
             if lc < params.min_leaf || rc < params.min_leaf {
                 continue;
             }
-            let split_sse =
-                (lss - ls * ls / lc as f64) + (rss - rs * rs / rc as f64);
+            let split_sse = (lss - ls * ls / lc as f64) + (rss - rs * rs / rc as f64);
             if best.as_ref().is_none_or(|b| split_sse < b.2) {
                 best = Some((dim, thr, split_sse));
             }
@@ -167,8 +166,7 @@ fn build<R: Rng + ?Sized>(
 
     match best {
         Some((dim, thr, split_sse)) if split_sse < sse_before - 1e-12 => {
-            let (li, ri): (Vec<usize>, Vec<usize>) =
-                idx.iter().partition(|&&i| x[i][dim] <= thr);
+            let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][dim] <= thr);
             Node::Split {
                 dim,
                 threshold: thr,
@@ -193,7 +191,10 @@ mod tests {
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = 0 for x<0.5, 10 for x>=0.5
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] < 0.5 { 0.0 } else { 10.0 })
+            .collect();
         (x, y)
     }
 

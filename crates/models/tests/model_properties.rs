@@ -1,8 +1,7 @@
 //! Property-based tests for the model crate's numerical invariants.
 
 use models::{
-    expected_improvement, GpRegressor, Kernel, Matrix, RandomForest, RegressionTree,
-    TreeParams,
+    expected_improvement, GpRegressor, Kernel, Matrix, RandomForest, RegressionTree, TreeParams,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -11,11 +10,7 @@ use rand::{Rng, SeedableRng};
 /// Builds a random PSD matrix A = B·Bᵀ + εI.
 fn psd(n: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    let b = Matrix::from_vec(
-        n,
-        n,
-        (0..n * n).map(|_| rng.gen::<f64>() - 0.5).collect(),
-    );
+    let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen::<f64>() - 0.5).collect());
     let mut a = b.matmul(&b.transpose());
     for i in 0..n {
         a[(i, i)] += 0.1;
@@ -28,7 +23,10 @@ fn dataset(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
         .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
         .collect();
-    let y: Vec<f64> = x.iter().map(|v| v.iter().sum::<f64>() * 3.0 + 1.0).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|v| v.iter().sum::<f64>() * 3.0 + 1.0)
+        .collect();
     (x, y)
 }
 

@@ -1,0 +1,198 @@
+//! Trace export: JSON Lines persistence and a Chrome trace-event
+//! (`chrome://tracing` / Perfetto) converter.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use crate::event::{Event, EventKind, FieldValue};
+use crate::json;
+
+/// Reads events from JSONL text (one event per line; blank lines
+/// skipped).
+///
+/// # Errors
+///
+/// Returns the first malformed line's error with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let e = Event::from_json(line).map_err(|err| format!("line {}: {err}", i + 1))?;
+        events.push(e);
+    }
+    Ok(events)
+}
+
+/// Reads events from a JSONL reader.
+///
+/// # Errors
+///
+/// Propagates I/O errors; malformed lines become `InvalidData`.
+pub fn read_jsonl(reader: impl BufRead) -> io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let e = Event::from_json(trimmed).map_err(|err| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {err}", i + 1))
+        })?;
+        events.push(e);
+    }
+    Ok(events)
+}
+
+/// Reads events from a JSONL file.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn read_jsonl_file(path: impl AsRef<Path>) -> io::Result<Vec<Event>> {
+    let file = std::fs::File::open(path)?;
+    read_jsonl(io::BufReader::new(file))
+}
+
+fn write_args(out: &mut String, fields: &[(String, FieldValue)]) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_escaped(out, k);
+        out.push(':');
+        match v {
+            FieldValue::I64(n) => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            FieldValue::U64(n) => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            FieldValue::F64(n) => json::write_f64(out, *n),
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            FieldValue::Str(s) => json::write_escaped(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Converts events to a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form), loadable in
+/// `chrome://tracing` or Perfetto.
+///
+/// Span start/end become `B`/`E` duration events, instants become `i`,
+/// and counter samples become `C` series.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match e.kind {
+            EventKind::SpanStart => "B",
+            EventKind::SpanEnd => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter => "C",
+        };
+        out.push_str("{\"name\":");
+        json::write_escaped(&mut out, &e.name);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                ",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":",
+                e.tid.max(1)
+            ),
+        );
+        json::write_f64(&mut out, e.ts_ns as f64 / 1e3);
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.fields.is_empty() {
+            write_args(&mut out, &e.fields);
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes [`chrome_trace`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[Event]) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace(events).as_bytes())?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                ts_ns: 1_000,
+                tid: 1,
+                kind: EventKind::SpanStart,
+                name: "outer".to_string(),
+                span_id: 1,
+                parent_id: 0,
+                fields: vec![],
+            },
+            Event {
+                ts_ns: 2_000,
+                tid: 1,
+                kind: EventKind::Instant,
+                name: "tick".to_string(),
+                span_id: 0,
+                parent_id: 1,
+                fields: vec![("i".to_string(), FieldValue::I64(3))],
+            },
+            Event {
+                ts_ns: 9_000,
+                tid: 1,
+                kind: EventKind::SpanEnd,
+                name: "outer".to_string(),
+                span_id: 1,
+                parent_id: 0,
+                fields: vec![("dur_ns".to_string(), FieldValue::U64(8_000))],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_text() {
+        let events = sample_events();
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].name, "outer");
+        assert_eq!(back[2].field("dur_ns"), Some(&FieldValue::I64(8_000)));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_phases() {
+        let doc = chrome_trace(&sample_events());
+        let v = json::parse(&doc).unwrap();
+        let items = match v.get("traceEvents") {
+            Some(json::JsonValue::Array(items)) => items,
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        assert_eq!(items.len(), 3);
+        let phases: Vec<_> = items
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(phases, vec!["B", "i", "E"]);
+        // ts is microseconds.
+        assert_eq!(items[0].get("ts").unwrap().as_f64(), Some(1.0));
+    }
+}

@@ -121,10 +121,7 @@ mod tests {
         assert_eq!(all.len(), 19);
         for family in ["m5", "c5", "r5", "i3"] {
             for size in ["large", "xlarge", "2xlarge", "4xlarge"] {
-                assert!(
-                    lookup(family, size).is_some(),
-                    "missing {family}.{size}"
-                );
+                assert!(lookup(family, size).is_some(), "missing {family}.{size}");
             }
         }
         assert!(lookup("h1", "large").is_none());

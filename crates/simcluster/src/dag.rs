@@ -151,9 +151,7 @@ impl StageSpec {
 
     /// Total logical bytes this stage processes (MB).
     pub fn data_mb(&self) -> f64 {
-        self.input_mb
-            + self.shuffle_read_mb
-            + self.cached_read.map_or(0.0, |c| c.mb)
+        self.input_mb + self.shuffle_read_mb + self.cached_read.map_or(0.0, |c| c.mb)
     }
 }
 

@@ -89,6 +89,43 @@ impl Simulator {
         job: &JobSpec,
         rng: &mut R,
     ) -> Result<SimResult, FailureKind> {
+        let _span = obs::span("sim.run").with("job", job.name.as_str());
+        let reg = obs::registry();
+        let result = reg
+            .histogram("sim.step_s")
+            .time(|| self.run_inner(env, job, rng));
+        match &result {
+            Ok(r) => {
+                reg.counter("sim.runs").inc();
+                reg.counter("sim.tasks")
+                    .add(u64::from(r.metrics.total_tasks));
+                if r.metrics.oom_retries > 0 {
+                    reg.counter("sim.oom_retries")
+                        .add(u64::from(r.metrics.oom_retries));
+                }
+                reg.histogram("sim.sim_runtime_s").record_secs(r.runtime_s);
+                reg.gauge("sim.cpu_frac").set(r.metrics.cpu_frac());
+                reg.gauge("sim.io_frac").set(r.metrics.io_frac());
+                reg.gauge("sim.net_frac").set(r.metrics.net_frac());
+                reg.gauge("sim.gc_frac").set(r.metrics.gc_frac());
+            }
+            Err(kind) => {
+                reg.counter("sim.failures").inc();
+                obs::instant(
+                    "sim.failure",
+                    obs::fields![("job", job.name.as_str()), ("kind", format!("{kind:?}"))],
+                );
+            }
+        }
+        result
+    }
+
+    fn run_inner<R: Rng + ?Sized>(
+        &self,
+        env: &SparkEnv,
+        job: &JobSpec,
+        rng: &mut R,
+    ) -> Result<SimResult, FailureKind> {
         job.validate().expect("job DAG must be well-formed");
 
         let cfg = &env.config;
@@ -112,7 +149,11 @@ impl Simulator {
         let (ser_s_per_mb, ser_size) = if serializer == "kryo" {
             let buf = cfg.int(sp::KRYO_BUFFER_MAX_MB) as f64;
             // Tiny kryo buffers force chunked serialization.
-            let pen = if buf < 16.0 { 1.0 + 0.15 * (16.0 - buf) / 16.0 } else { 1.0 };
+            let pen = if buf < 16.0 {
+                1.0 + 0.15 * (16.0 - buf) / 16.0
+            } else {
+                1.0
+            };
             (k::KRYO_SER_S_PER_MB * pen, 1.0)
         } else {
             (k::JAVA_SER_S_PER_MB, k::JAVA_SIZE_FACTOR)
@@ -125,8 +166,7 @@ impl Simulator {
         let rdd_compress = cfg.bool(sp::RDD_COMPRESS);
         let storage_level = cfg.str(sp::STORAGE_LEVEL).to_owned();
         let buffer_kb = cfg.int(sp::SHUFFLE_FILE_BUFFER_KB) as f64;
-        let buffer_penalty =
-            1.0 + k::BUFFER_FLUSH_PENALTY * ((256.0 / buffer_kb).log2()).max(0.0);
+        let buffer_penalty = 1.0 + k::BUFFER_FLUSH_PENALTY * ((256.0 / buffer_kb).log2()).max(0.0);
         let max_in_flight = cfg.int(sp::REDUCER_MAX_SIZE_IN_FLIGHT_MB) as f64;
         let bypass_threshold = cfg.int(sp::SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD);
         let reduce_parallelism = cfg.int(sp::DEFAULT_PARALLELISM).max(1);
@@ -155,12 +195,7 @@ impl Simulator {
         let storage_total = env.total_storage_mem_mb().max(1.0);
 
         for (i, stage) in job.stages.iter().enumerate() {
-            let start: Micros = stage
-                .deps
-                .iter()
-                .map(|&d| stage_end[d])
-                .max()
-                .unwrap_or(0);
+            let start: Micros = stage.deps.iter().map(|&d| stage_end[d]).max().unwrap_or(0);
 
             let contention = interference.step(rng);
             let bursting = interference.is_bursting();
@@ -170,17 +205,15 @@ impl Simulator {
             // Dynamic allocation: idle executors are released for small
             // stages, easing per-node contention, at a spin-up cost.
             let (executors, spinup) = if dyn_alloc {
-                let needed =
-                    (ntasks as u32).div_ceil(env.cores_per_executor).max(1);
+                let needed = (ntasks as u32).div_ceil(env.cores_per_executor).max(1);
                 (needed.min(env.executors), k::DYN_ALLOC_SPINUP_S)
             } else {
                 (env.executors, 0.0)
             };
             let slots = (executors * env.cores_per_executor).max(1) as usize;
             let execs_per_node = (f64::from(executors) / nodes).ceil().max(1.0);
-            let conc_per_node = (execs_per_node
-                * f64::from(env.cores_per_executor))
-            .min((ntasks as f64 / nodes).ceil().max(1.0));
+            let conc_per_node = (execs_per_node * f64::from(env.cores_per_executor))
+                .min((ntasks as f64 / nodes).ceil().max(1.0));
 
             // Bandwidth shares, degraded by co-location bursts.
             let disk_bw = (inst.disk_mbps / conc_per_node / contention).max(1.0);
@@ -268,8 +301,8 @@ impl Simulator {
                     disk_bw
                 };
                 let mut io = input_pt * w / read_bw;
-                let phys_write = swrite_pt * w * ser_size
-                    * if shuffle_compress { codec_ratio } else { 1.0 };
+                let phys_write =
+                    swrite_pt * w * ser_size * if shuffle_compress { codec_ratio } else { 1.0 };
                 io += phys_write / disk_bw * buffer_penalty;
                 io += out_pt * w / disk_bw;
 
@@ -285,8 +318,8 @@ impl Simulator {
                 }
 
                 // Shuffle fetch over the network.
-                let phys_read = sread_pt * w * ser_size
-                    * if shuffle_compress { codec_ratio } else { 1.0 };
+                let phys_read =
+                    sread_pt * w * ser_size * if shuffle_compress { codec_ratio } else { 1.0 };
                 let mut net = phys_read / net_bw;
                 if phys_read > 0.0 {
                     let waves = (phys_read / max_in_flight).ceil().max(1.0);
@@ -310,8 +343,7 @@ impl Simulator {
                     ser += disk_bytes * ser_s_per_mb / cpu_speed;
                     // Lost partitions: recompute from lineage.
                     io += lost_bytes * k::RECOMPUTE_FACTOR / disk_bw;
-                    cpu += lost_bytes * stage.cpu_s_per_mb * k::RECOMPUTE_FACTOR
-                        / cpu_speed;
+                    cpu += lost_bytes * stage.cpu_s_per_mb * k::RECOMPUTE_FACTOR / cpu_speed;
                 }
 
                 // Memory pressure: spill or OOM.
@@ -346,8 +378,7 @@ impl Simulator {
                     let straggled = dur * slow;
                     if speculation && t > 0 && median_est > 0.0 {
                         let cap = median_est * spec_mult + median_est;
-                        dur = straggled.min(cap.max(dur))
-                            + dur * k::SPECULATION_COPY_COST;
+                        dur = straggled.min(cap.max(dur)) + dur * k::SPECULATION_COPY_COST;
                     } else {
                         dur = straggled;
                     }
@@ -389,20 +420,20 @@ impl Simulator {
             if stage.shuffle_read_mb > 0.0
                 && net_timeout_s < k::FRAGILE_TIMEOUT_S
                 && bursting
-                && rng.gen::<f64>() < k::FRAGILE_FETCH_FAIL_PROB {
-                    fetch_penalty = 2.0;
-                    if rng.gen::<f64>() < 0.3 * k::FRAGILE_FETCH_FAIL_PROB {
-                        return Err(FailureKind::FetchTimeout {
-                            stage: stage.name.clone(),
-                        });
-                    }
+                && rng.gen::<f64>() < k::FRAGILE_FETCH_FAIL_PROB
+            {
+                fetch_penalty = 2.0;
+                if rng.gen::<f64>() < 0.3 * k::FRAGILE_FETCH_FAIL_PROB {
+                    return Err(FailureKind::FetchTimeout {
+                        stage: stage.name.clone(),
+                    });
                 }
+            }
 
             // ---- List-schedule tasks onto slots ----------------------
             let duration_s = schedule(&durations, slots);
             let stage_noise = lognormal(rng, k::STAGE_NOISE_SIGMA);
-            let wall =
-                (duration_s * fetch_penalty + k::STAGE_OVERHEAD_S + spinup) * stage_noise;
+            let wall = (duration_s * fetch_penalty + k::STAGE_OVERHEAD_S + spinup) * stage_noise;
 
             sm.tasks = ntasks as u32;
             sm.duration_s = wall;
@@ -421,8 +452,7 @@ impl Simulator {
                     &mut storage_used_mb,
                 );
                 cache[i] = Some(entry);
-                peak_storage_frac =
-                    peak_storage_frac.max(storage_used_mb / storage_total);
+                peak_storage_frac = peak_storage_frac.max(storage_used_mb / storage_total);
             }
 
             if let Some((_, entry)) = cached_plan {
@@ -433,8 +463,7 @@ impl Simulator {
             stage_end.push(start + to_micros(wall));
         }
 
-        let runtime_s =
-            to_secs(stage_end.iter().copied().max().unwrap_or(0)) + k::JOB_OVERHEAD_S;
+        let runtime_s = to_secs(stage_end.iter().copied().max().unwrap_or(0)) + k::JOB_OVERHEAD_S;
         let cost_usd = env.cluster.cost_for(runtime_s);
 
         Ok(SimResult {
@@ -609,10 +638,9 @@ mod tests {
     fn more_slots_is_faster_for_parallel_work() {
         let sim = Simulator::dedicated();
         let j = simple_job(8192.0);
-        let slow_cfg = decent_cfg().with(sp::EXECUTOR_INSTANCES, 1i64).with(
-            sp::EXECUTOR_CORES,
-            1i64,
-        );
+        let slow_cfg = decent_cfg()
+            .with(sp::EXECUTOR_INSTANCES, 1i64)
+            .with(sp::EXECUTOR_CORES, 1i64);
         let slow = sim
             .run(&env(slow_cfg), &j, &mut StdRng::seed_from_u64(2))
             .unwrap();
@@ -659,7 +687,9 @@ mod tests {
         let cfg = decent_cfg()
             .with(sp::EXECUTOR_MEMORY_MB, 2048i64)
             .with(sp::DEFAULT_PARALLELISM, 8i64);
-        let res = sim.run(&env(cfg), &j, &mut StdRng::seed_from_u64(4)).unwrap();
+        let res = sim
+            .run(&env(cfg), &j, &mut StdRng::seed_from_u64(4))
+            .unwrap();
         assert!(res.metrics.spill_mb > 0.0);
     }
 
@@ -674,8 +704,7 @@ mod tests {
         let mut stages = vec![StageSpec::input("m", 1024.0, 0.01).writes_shuffle(50.0)];
         for i in 1..40 {
             stages.push(
-                StageSpec::reduce(&format!("r{i}"), vec![i - 1], 50.0, 0.005)
-                    .writes_shuffle(50.0),
+                StageSpec::reduce(&format!("r{i}"), vec![i - 1], 50.0, 0.005).writes_shuffle(50.0),
             );
         }
         let big = JobSpec::new("deep", stages);
@@ -696,8 +725,12 @@ mod tests {
         );
         let on = decent_cfg().with(sp::SHUFFLE_COMPRESS, true);
         let off = decent_cfg().with(sp::SHUFFLE_COMPRESS, false);
-        let ron = sim.run(&env(on), &j, &mut StdRng::seed_from_u64(6)).unwrap();
-        let roff = sim.run(&env(off), &j, &mut StdRng::seed_from_u64(6)).unwrap();
+        let ron = sim
+            .run(&env(on), &j, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        let roff = sim
+            .run(&env(off), &j, &mut StdRng::seed_from_u64(6))
+            .unwrap();
         let net_on: f64 = ron.metrics.stages.iter().map(|s| s.net_s).sum();
         let net_off: f64 = roff.metrics.stages.iter().map(|s| s.net_s).sum();
         assert!(net_on < net_off, "net {net_on} !< {net_off}");
@@ -715,8 +748,12 @@ mod tests {
         );
         let kryo = decent_cfg().with(sp::SERIALIZER, "kryo");
         let java = decent_cfg().with(sp::SERIALIZER, "java");
-        let rk = sim.run(&env(kryo), &j, &mut StdRng::seed_from_u64(8)).unwrap();
-        let rj = sim.run(&env(java), &j, &mut StdRng::seed_from_u64(8)).unwrap();
+        let rk = sim
+            .run(&env(kryo), &j, &mut StdRng::seed_from_u64(8))
+            .unwrap();
+        let rj = sim
+            .run(&env(java), &j, &mut StdRng::seed_from_u64(8))
+            .unwrap();
         let ser_k: f64 = rk.metrics.stages.iter().map(|s| s.ser_s).sum();
         let ser_j: f64 = rj.metrics.stages.iter().map(|s| s.ser_s).sum();
         assert!(ser_k < ser_j);
@@ -737,7 +774,9 @@ mod tests {
         let cfg = decent_cfg()
             .with(sp::EXECUTOR_MEMORY_MB, 16384i64)
             .with(sp::MEMORY_STORAGE_FRACTION, 0.6);
-        let res = sim.run(&env(cfg), &j, &mut StdRng::seed_from_u64(9)).unwrap();
+        let res = sim
+            .run(&env(cfg), &j, &mut StdRng::seed_from_u64(9))
+            .unwrap();
         assert!(
             res.metrics.stages[1].cache_hit_frac > 0.99,
             "hit {}",
@@ -756,14 +795,14 @@ mod tests {
                     StageSpec::input("load", big, 0.005)
                         .cached()
                         .writes_output(big),
-                    StageSpec::reduce("iter-1", vec![0], 0.0, 0.005)
-                        .reads_cached(0, big),
+                    StageSpec::reduce("iter-1", vec![0], 0.0, 0.005).reads_cached(0, big),
                 ],
             );
             let cfg = decent_cfg()
                 .with(sp::EXECUTOR_MEMORY_MB, 4096i64)
                 .with(sp::STORAGE_LEVEL, level);
-            sim.run(&env(cfg), &j, &mut StdRng::seed_from_u64(10)).unwrap()
+            sim.run(&env(cfg), &j, &mut StdRng::seed_from_u64(10))
+                .unwrap()
         };
         let mem_only = mk("MEMORY_ONLY");
         let mem_disk = mk("MEMORY_AND_DISK");
@@ -784,7 +823,10 @@ mod tests {
         let mut tot_calm = 0.0;
         let mut tot_noisy = 0.0;
         for s in 0..10u64 {
-            tot_calm += calm.run(&e, &j, &mut StdRng::seed_from_u64(s)).unwrap().runtime_s;
+            tot_calm += calm
+                .run(&e, &j, &mut StdRng::seed_from_u64(s))
+                .unwrap()
+                .runtime_s;
             tot_noisy += noisy
                 .run(&e, &j, &mut StdRng::seed_from_u64(s))
                 .map(|r| r.runtime_s)

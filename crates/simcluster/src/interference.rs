@@ -116,7 +116,7 @@ mod tests {
         let factors: Vec<f64> = (0..2000).map(|_| st.step(&mut rng)).collect();
         let bursty = factors.iter().filter(|&&f| f > 1.0).count();
         assert!(bursty > 400, "expected frequent bursts, got {bursty}/2000");
-        assert!(factors.iter().all(|&f| f >= 1.0 && f <= 2.0));
+        assert!(factors.iter().all(|&f| (1.0..=2.0).contains(&f)));
     }
 
     #[test]

@@ -87,9 +87,13 @@ impl ExecMetrics {
         self.frac(|s| s.ser_s)
     }
 
+    // Negated comparison so a NaN total (corrupt stage timings) also
+    // takes the guard: `total <= 0.0` is false for NaN and would fall
+    // through to a NaN division.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn frac(&self, f: impl Fn(&StageMetrics) -> f64) -> f64 {
         let total = self.total_task_time_s();
-        if total <= 0.0 {
+        if !(total > 0.0) {
             return 0.0;
         }
         self.stages.iter().map(f).sum::<f64>() / total
@@ -154,8 +158,7 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let m = metrics();
-        let sum =
-            m.cpu_frac() + m.io_frac() + m.net_frac() + m.gc_frac() + m.ser_frac();
+        let sum = m.cpu_frac() + m.io_frac() + m.net_frac() + m.gc_frac() + m.ser_frac();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 
@@ -171,5 +174,36 @@ mod tests {
         let m = ExecMetrics::default();
         assert_eq!(m.cpu_frac(), 0.0);
         assert_eq!(m.cache_hit_frac(), 1.0);
+    }
+
+    #[test]
+    fn nan_task_times_yield_zero_fractions() {
+        let m = ExecMetrics {
+            stages: vec![StageMetrics {
+                name: "corrupt".into(),
+                cpu_s: f64::NAN,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!(m.total_task_time_s().is_nan());
+        assert_eq!(m.cpu_frac(), 0.0, "NaN total must take the guard");
+        assert_eq!(m.io_frac(), 0.0);
+        assert_eq!(m.ser_frac(), 0.0);
+    }
+
+    #[test]
+    fn negative_task_times_yield_zero_fractions() {
+        let m = ExecMetrics {
+            stages: vec![StageMetrics {
+                name: "clock-skew".into(),
+                cpu_s: -5.0,
+                io_s: 2.0,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert_eq!(m.cpu_frac(), 0.0);
+        assert_eq!(m.net_frac(), 0.0);
     }
 }

@@ -231,7 +231,7 @@ mod tests {
             .enumerate()
             .map(|(i, &mb)| submission(&format!("t{i}"), mb))
             .collect();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StdRng::seed_from_u64(8);
         run_shared(&cluster, &subs, policy, &Simulator::dedicated(), &mut rng)
     }
 
@@ -242,7 +242,11 @@ mod tests {
         assert!(c[0] < c[1] && c[1] < c[2]);
         assert!((c[2] - out.makespan_s).abs() < 1e-9);
         // Equal demands: completions are ~1x, 2x, 3x the demand.
-        assert!((c[1] / c[0] - 2.0).abs() < 0.3);
+        assert!(
+            (c[1] / c[0] - 2.0).abs() < 0.3,
+            "c = {c:?}, ratio = {}",
+            c[1] / c[0]
+        );
     }
 
     #[test]
@@ -287,8 +291,14 @@ mod tests {
         // with a tiny-node cluster instead.
         let tiny = ClusterSpec::new(crate::catalog::lookup("m5", "large").unwrap(), 2);
         subs.push(bad);
-        let mut rng = StdRng::seed_from_u64(2);
-        let out = run_shared(&tiny, &subs, SharingPolicy::Fifo, &Simulator::dedicated(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = run_shared(
+            &tiny,
+            &subs,
+            SharingPolicy::Fifo,
+            &Simulator::dedicated(),
+            &mut rng,
+        );
         assert!(out.jobs[1].failure.is_some());
         let _ = cluster;
     }

@@ -213,8 +213,6 @@ mod tests {
     fn storage_memory_scales_with_executors() {
         let c = cfg().with(sp::EXECUTOR_INSTANCES, 8i64);
         let env = SparkEnv::resolve(&testbed(), &c).unwrap();
-        assert!(
-            (env.total_storage_mem_mb() - env.storage_mem_mb * 8.0).abs() < 1e-9
-        );
+        assert!((env.total_storage_mem_mb() - env.storage_mem_mb * 8.0).abs() < 1e-9);
     }
 }

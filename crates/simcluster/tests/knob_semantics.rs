@@ -86,10 +86,7 @@ fn speculation_tames_stragglers_on_skewed_stages() {
 fn locality_wait_reduces_remote_reads_with_few_executors() {
     // 2 executors on 4 nodes: half the input blocks are remote unless
     // the scheduler waits for local slots.
-    let job = JobSpec::new(
-        "scan",
-        vec![StageSpec::input("m", 8192.0, 0.004)],
-    );
+    let job = JobSpec::new("scan", vec![StageSpec::input("m", 8192.0, 0.004)]);
     let impatient = base_cfg()
         .with(sp::EXECUTOR_INSTANCES, 2i64)
         .with(sp::LOCALITY_WAIT_MS, 0i64);
@@ -143,7 +140,10 @@ fn fair_scheduler_adds_small_overhead() {
     let fair = base_cfg().with(sp::SCHEDULER_MODE, "FAIR");
     let (tf, ta) = (runtime(&fifo, &job), runtime(&fair, &job));
     assert!(ta >= tf * 0.99, "FAIR should not be faster: {ta} vs {tf}");
-    assert!(ta <= tf * 1.2, "FAIR overhead must stay small: {ta} vs {tf}");
+    assert!(
+        ta <= tf * 1.2,
+        "FAIR overhead must stay small: {ta} vs {tf}"
+    );
 }
 
 #[test]
@@ -216,10 +216,7 @@ fn executor_memory_relieves_spill_on_sort() {
 
 #[test]
 fn oversubscribed_cores_slow_cpu_bound_work() {
-    let job = JobSpec::new(
-        "cpu",
-        vec![StageSpec::input("m", 4096.0, 0.03)],
-    );
+    let job = JobSpec::new("cpu", vec![StageSpec::input("m", 4096.0, 0.03)]);
     // 8 executors x 2 cores = 16 slots on 64 vCPUs (fine) vs
     // 8 executors x 16 cores = 128 slots on 64 vCPUs (2x oversubscribed).
     let fine = base_cfg();

@@ -87,10 +87,7 @@ mod tests {
     fn tokenize_is_cpu_heaviest() {
         let j = BayesClassifier::new().job(DataScale::Ds1);
         let tok = &j.stages[0];
-        assert!(j
-            .stages
-            .iter()
-            .all(|s| s.cpu_s_per_mb <= tok.cpu_s_per_mb));
+        assert!(j.stages.iter().all(|s| s.cpu_s_per_mb <= tok.cpu_s_per_mb));
     }
 
     #[test]

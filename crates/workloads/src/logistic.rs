@@ -43,13 +43,11 @@ impl Workload for LogisticRegression {
     fn job(&self, scale: DataScale) -> JobSpec {
         let input = scale.input_mb();
         let gradient = (input * 0.0005).max(0.25);
-        let mut stages = vec![
-            StageSpec::input("lr-load", input, 0.007)
-                .cached()
-                .writes_output(input)
-                .with_mem_expansion(1.3)
-                .with_partitioning(Partitioning::InputBlocks { block_mb: 64.0 }),
-        ];
+        let mut stages = vec![StageSpec::input("lr-load", input, 0.007)
+            .cached()
+            .writes_output(input)
+            .with_mem_expansion(1.3)
+            .with_partitioning(Partitioning::InputBlocks { block_mb: 64.0 })];
         let mut prev = 0usize;
         for i in 0..self.iterations {
             let step = StageSpec::reduce(
@@ -65,8 +63,7 @@ impl Workload for LogisticRegression {
             prev = stages.len() - 1;
         }
         stages.push(
-            StageSpec::reduce("lr-model", vec![prev], gradient, 0.002)
-                .writes_output(gradient),
+            StageSpec::reduce("lr-model", vec![prev], gradient, 0.002).writes_output(gradient),
         );
         JobSpec::new(&format!("logistic@{}", scale.label()), stages)
     }

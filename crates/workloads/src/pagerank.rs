@@ -71,16 +71,12 @@ impl Workload for Pagerank {
         let mut prev = 0usize;
         for i in 0..self.iterations {
             // Join cached links with current ranks; emit contributions.
-            let join = StageSpec::reduce(
-                &format!("pr-iter{}-join", i + 1),
-                vec![prev],
-                ranks,
-                0.009,
-            )
-            .reads_cached(0, input)
-            .writes_shuffle(ranks)
-            .with_mem_expansion(2.2)
-            .with_skew(self.skew);
+            let join =
+                StageSpec::reduce(&format!("pr-iter{}-join", i + 1), vec![prev], ranks, 0.009)
+                    .reads_cached(0, input)
+                    .writes_shuffle(ranks)
+                    .with_mem_expansion(2.2)
+                    .with_skew(self.skew);
             stages.push(join);
             prev = stages.len() - 1;
         }
@@ -109,11 +105,7 @@ mod tests {
     #[test]
     fn every_iteration_reads_the_cached_graph() {
         let j = Pagerank::new().job(DataScale::Ds1);
-        let cached_readers = j
-            .stages
-            .iter()
-            .filter(|s| s.cached_read.is_some())
-            .count();
+        let cached_readers = j.stages.iter().filter(|s| s.cached_read.is_some()).count();
         assert_eq!(cached_readers, 5);
         assert!(j.stages[0].cache_output);
     }

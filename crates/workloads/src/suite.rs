@@ -1,6 +1,8 @@
 //! The workload registry.
 
-use crate::{BayesClassifier, KMeans, LogisticRegression, Pagerank, SqlJoin, Terasort, Wordcount, Workload};
+use crate::{
+    BayesClassifier, KMeans, LogisticRegression, Pagerank, SqlJoin, Terasort, Wordcount, Workload,
+};
 
 /// All seven workloads, boxed for uniform handling.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {

@@ -47,7 +47,10 @@ fn main() {
     // The §IV-D trade-off the user should be able to express: "results
     // fast no matter the cost" vs "cheap, I can wait".
     println!("\nruntime vs cost across the catalog (4 nodes, house-default Spark config):");
-    println!("{:<14} {:>10} {:>12}", "instance", "runtime(s)", "run cost($)");
+    println!(
+        "{:<14} {:>10} {:>12}",
+        "instance", "runtime(s)", "run cost($)"
+    );
     let mut rows = Vec::new();
     for inst in simcluster::catalog::all_instances() {
         let cfg = cloud_space()

@@ -36,10 +36,12 @@ fn main() {
     );
 
     // Static deployment: same starting config, never re-tuned.
-    let mut static_obj =
-        DiscObjective::new(cluster, Pagerank::new().job(DataScale::Ds1), &env);
+    let mut static_obj = DiscObjective::new(cluster, Pagerank::new().job(DataScale::Ds1), &env);
 
-    println!("{:<8} {:>12} {:>12} {:>10}", "scale", "managed(s)", "static(s)", "retuned?");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "scale", "managed(s)", "static(s)", "retuned?"
+    );
     for scale in scales {
         managed.set_job(Pagerank::new().job(scale));
         static_obj.set_job(Pagerank::new().job(scale));

@@ -48,11 +48,15 @@ fn main() {
 
         // Show one effect curve: how the top parameter shapes runtime.
         let top = &additive.effects[0];
-        println!("  effect curve of `{}` (encoded value -> ln runtime):", top.name);
+        println!(
+            "  effect curve of `{}` (encoded value -> ln runtime):",
+            top.name
+        );
         for (x, m) in &top.curve {
-            let bar = "#".repeat(((m - top.curve.iter().map(|c| c.1).fold(f64::INFINITY, f64::min))
-                * 30.0
-                / top.leverage.max(1e-9)) as usize);
+            let bar = "#".repeat(
+                ((m - top.curve.iter().map(|c| c.1).fold(f64::INFINITY, f64::min)) * 30.0
+                    / top.leverage.max(1e-9)) as usize,
+            );
             println!("    {x:.2}  {m:7.3}  {bar}");
         }
         println!();

@@ -34,8 +34,7 @@ fn main() {
     }
 
     // Inspect the winning configuration.
-    let mut objective =
-        DiscObjective::new(cluster, job, &SimEnvironment::dedicated(2));
+    let mut objective = DiscObjective::new(cluster, job, &SimEnvironment::dedicated(2));
     let mut session = TuningSession::new(TunerKind::BayesOpt, 42);
     let outcome = session.run(&mut objective, 25);
     if let Some(best) = outcome.best_config() {

@@ -37,9 +37,16 @@ fn main() {
     for policy in [SharingPolicy::Fifo, SharingPolicy::Fair] {
         let mut rng = StdRng::seed_from_u64(3);
         let out = run_shared(&cluster, &submissions, policy, &sim, &mut rng);
-        println!("{policy:?}: mean completion {:.1}s, makespan {:.1}s", out.mean_completion_s(), out.makespan_s);
+        println!(
+            "{policy:?}: mean completion {:.1}s, makespan {:.1}s",
+            out.mean_completion_s(),
+            out.makespan_s
+        );
         for j in &out.jobs {
-            println!("  {:<18} demand {:>6.1}s  done at {:>6.1}s", j.tenant, j.demand_s, j.completion_s);
+            println!(
+                "  {:<18} demand {:>6.1}s  done at {:>6.1}s",
+                j.tenant, j.demand_s, j.completion_s
+            );
         }
     }
 

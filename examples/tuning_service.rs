@@ -26,9 +26,21 @@ fn main() {
     let tenants: Vec<(&str, &str, Box<dyn Workload>)> = vec![
         ("alice", "nightly-pagerank", Box::new(Pagerank::new())),
         ("bob", "etl-wordcount", Box::new(Wordcount::new())),
-        ("carol", "web-pagerank", Box::new(Pagerank::with_iterations(4))),
-        ("dave", "log-wordcount", Box::new(Wordcount::with_combine_ratio(0.08))),
-        ("erin", "citations-pagerank", Box::new(Pagerank::with_iterations(6))),
+        (
+            "carol",
+            "web-pagerank",
+            Box::new(Pagerank::with_iterations(4)),
+        ),
+        (
+            "dave",
+            "log-wordcount",
+            Box::new(Wordcount::with_combine_ratio(0.08)),
+        ),
+        (
+            "erin",
+            "citations-pagerank",
+            Box::new(Pagerank::with_iterations(6)),
+        ),
     ];
 
     println!(

@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam::thread::scope` API, implemented
+//! over `std::thread::scope` (stable since Rust 1.63, which makes the
+//! crossbeam dependency unnecessary for this workspace's usage).
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// A scope handle; `spawn` borrows from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Unlike crossbeam, the closure's
+        /// argument carries no nested-scope handle — every caller in
+        /// this workspace ignores it (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`: a panicking child propagates its panic at
+    /// join time, matching how this workspace consumes the result
+    /// (`.expect(...)`).
+    #[allow(clippy::missing_panics_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (d, o) in data.chunks(2).zip(out.chunks_mut(2)) {
+                s.spawn(move |_| {
+                    for (x, y) in d.iter().zip(o.iter_mut()) {
+                        *y = x * 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the shim `serde` crate's value-tree data model. Because the sandbox
+//! cannot fetch `syn`/`quote`, the item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, matching real serde's default).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not
+//! supported; deriving on such an item produces a compile error naming
+//! this shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde shim derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// --- parsing ------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past any `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Splits a token list on commas at angle-bracket depth zero. Nested
+/// `(...)`/`[...]`/`{...}` arrive as single group tokens, but generic
+/// argument lists (`BTreeMap<String, V>`) are flat punctuation, so `<`
+/// and `>` depth must be tracked explicitly.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        } else if is_punct(t, ',') && angle == 0 {
+            if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parses named fields out of a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for seg in split_top_commas(tokens) {
+        let mut i = skip_attrs(&seg, 0);
+        i = skip_vis(&seg, i);
+        let name = seg
+            .get(i)
+            .and_then(ident_of)
+            .ok_or_else(|| "serde shim derive: expected field name".to_owned())?;
+        if !seg.get(i + 1).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!(
+                "serde shim derive: expected `:` after field `{name}`"
+            ));
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Parses the fields of one enum variant or struct body element.
+fn parse_variant(seg: &[TokenTree]) -> Result<(String, Fields), String> {
+    let i = skip_attrs(seg, 0);
+    let name = seg
+        .get(i)
+        .and_then(ident_of)
+        .ok_or_else(|| "serde shim derive: expected variant name".to_owned())?;
+    match seg.get(i + 1) {
+        None => Ok((name, Fields::Unit)),
+        Some(t) if is_punct(t, '=') => Ok((name, Fields::Unit)), // discriminant
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok((name, Fields::Tuple(split_top_commas(&inner).len())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok((name, Fields::Named(parse_named_fields(&inner)?)))
+        }
+        Some(other) => Err(format!(
+            "serde shim derive: unexpected token after variant `{name}`: {other}"
+        )),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = tokens
+        .get(i)
+        .and_then(ident_of)
+        .ok_or_else(|| "serde shim derive: expected `struct` or `enum`".to_owned())?;
+    i += 1;
+    let name = tokens
+        .get(i)
+        .and_then(ident_of)
+        .ok_or_else(|| "serde shim derive: expected item name".to_owned())?;
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported (the offline serde \
+             stand-in only derives plain structs and enums)"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                None | Some(TokenTree::Punct(_)) => Fields::Unit, // `struct X;`
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_commas(&inner).len())
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim derive: unexpected struct body: {other}"
+                    ))
+                }
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_commas(&inner)
+                    .iter()
+                    .map(|seg| parse_variant(seg))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Item::Enum { name, variants })
+            }
+            _ => Err("serde shim derive: expected enum body".to_owned()),
+        },
+        other => Err(format!(
+            "serde shim derive: cannot derive for `{other}` items"
+        )),
+    }
+}
+
+// --- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Object(::std::vec![{}]))]),",
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `field: from_value(...)` initializers for a named-field body read out
+/// of the object expression `src`.
+fn named_inits(owner: &str, fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get({f:?})\
+                 .unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| e.ctx(\"{owner}.{f}\"))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Named(fs) => format!(
+                "if !::std::matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected object for {name}, found {{}}\", v.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                named_inits(name, fs, "v")
+            ),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)\
+                 .map_err(|e| e.ctx({name:?}))?))"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         _ => ::std::result::Result::Err(::serde::DeError::new(\
+                             \"expected {n}-element array for {name}\")),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__val)\
+                         .map_err(|e| e.ctx(\"{name}::{v}\"))?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match __val {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                     \"expected {n}-element array for {name}::{v}\")),\n\
+                             }},",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => Some(format!(
+                        "{v:?} => {{\n\
+                             if !::std::matches!(__val, ::serde::Value::Object(_)) {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::new(\
+                                     \"expected object payload for {name}::{v}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                         }},",
+                        named_inits(&format!("{name}::{v}"), fs, "__val")
+                    )),
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __val) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

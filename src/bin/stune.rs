@@ -136,7 +136,10 @@ fn tune(args: &[String]) -> ExitCode {
     let run = || -> Result<(), String> {
         let flags = parse_flags(args)?;
         let get = |key: &str, default: &str| -> String {
-            flags.get(key).cloned().unwrap_or_else(|| default.to_owned())
+            flags
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| default.to_owned())
         };
         let workload_name = get("workload", "pagerank");
         let workload = workload_by_name_or_err(&workload_name)?;

@@ -47,21 +47,20 @@ pub use workloads;
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
     pub use confspace::{
-        cloud::cloud_space, spark::spark_space, Configuration, ParamSpace, Sampler,
-        UniformSampler,
+        cloud::cloud_space, spark::spark_space, Configuration, ParamSpace, Sampler, UniformSampler,
     };
+    pub use seamless_core::service::ServiceConfig;
     pub use seamless_core::{
         CloudObjective, DiscObjective, GoalObjective, HistoryStore, JointObjective,
         ManagedWorkload, Objective, Observation, RetuneMonitor, RetunePolicy, SeamlessTuner,
         SimEnvironment, Tuner, TunerKind, TuningGoal, TuningOutcome, TuningSession,
         WorkloadSignature,
     };
-    pub use seamless_core::service::ServiceConfig;
     pub use simcluster::catalog::InstanceType;
     pub use simcluster::cluster::ClusterSpec;
     pub use simcluster::{InterferenceModel, JobSpec, Simulator, SparkEnv};
     pub use workloads::{
-        all_workloads, table1_workloads, BayesClassifier, DataScale, KMeans,
-        LogisticRegression, Pagerank, SqlJoin, Terasort, Wordcount, Workload,
+        all_workloads, table1_workloads, BayesClassifier, DataScale, KMeans, LogisticRegression,
+        Pagerank, SqlJoin, Terasort, Wordcount, Workload,
     };
 }

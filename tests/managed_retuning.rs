@@ -9,11 +9,7 @@ fn managed_execution_retunes_and_improves_after_growth() {
     let cluster = ClusterSpec::table1_testbed();
 
     // Tune at the small size first.
-    let mut obj = DiscObjective::new(
-        cluster.clone(),
-        Pagerank::new().job(DataScale::Tiny),
-        &env,
-    );
+    let mut obj = DiscObjective::new(cluster.clone(), Pagerank::new().job(DataScale::Tiny), &env);
     let mut session = TuningSession::new(TunerKind::BayesOpt, 5);
     let tuned_small = session
         .run(&mut obj, 15)

@@ -70,6 +70,12 @@ fn pagerank_retuning_saves_much_more_than_wordcount() {
         pr > wc + 0.08,
         "pagerank saving {pr:.2} should exceed wordcount saving {wc:.2} by >8pts"
     );
-    assert!(wc < 0.15, "wordcount re-tuning saving should be marginal, got {wc:.2}");
-    assert!(pr > 0.10, "24x growth must create a real re-tuning opportunity, got {pr:.2}");
+    assert!(
+        wc < 0.15,
+        "wordcount re-tuning saving should be marginal, got {wc:.2}"
+    );
+    assert!(
+        pr > 0.10,
+        "24x growth must create a real re-tuning opportunity, got {pr:.2}"
+    );
 }

@@ -29,7 +29,11 @@ fn every_strategy_finds_a_working_configuration() {
 
 #[test]
 fn best_so_far_curves_are_monotone() {
-    for kind in [TunerKind::BayesOpt, TunerKind::Genetic, TunerKind::BestConfig] {
+    for kind in [
+        TunerKind::BayesOpt,
+        TunerKind::Genetic,
+        TunerKind::BestConfig,
+    ] {
         let outcome = tune(kind, 20, 11);
         let curve = outcome.best_so_far();
         for w in curve.windows(2) {
@@ -83,5 +87,9 @@ fn warm_start_is_visible_to_the_strategy_but_not_charged() {
     let mut session = TuningSession::new(TunerKind::BayesOpt, 99);
     session.warm_start(donated);
     let outcome = session.run(&mut obj, 8);
-    assert_eq!(outcome.history.len(), 8, "warm observations are not in the outcome");
+    assert_eq!(
+        outcome.history.len(),
+        8,
+        "warm observations are not in the outcome"
+    );
 }
