@@ -5,7 +5,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use models::{ForestParams, GpRegressor, Kernel, RandomForest, RegressionTree, TreeParams};
+use models::{
+    ForestParams, GpFitCache, GpRegressor, Kernel, RandomForest, RegressionTree, TreeParams,
+};
+
+const MATERN: Kernel = Kernel::Matern52 {
+    length_scale: 0.4,
+    variance: 1.0,
+};
 
 fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -57,6 +64,48 @@ fn bench_gp(c: &mut Criterion) {
     group.bench_function("predict_n100", |b| {
         b.iter(|| gp.predict(&x[3]));
     });
+    let qs: Vec<Vec<f64>> = x.iter().take(64).cloned().collect();
+    group.bench_function("predict_batch_64_n100", |b| {
+        b.iter(|| gp.predict_batch(&qs));
+    });
+    group.finish();
+}
+
+/// The `fit_auto` hyperparameter grid: sequential baseline, parallel,
+/// and warm-cache incremental — the tuning-loop hot path this crate's
+/// perf work targets.
+fn bench_fit_auto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_auto");
+    for n in [32usize, 120] {
+        let (x, y) = synthetic(n, 26, 13);
+        group.bench_with_input(BenchmarkId::new("threads1", n), &n, |b, _| {
+            b.iter(|| GpRegressor::fit_auto_threads(&x, &y, MATERN, 1));
+        });
+        let threads = models::par::num_threads();
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads{threads}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| GpRegressor::fit_auto_threads(&x, &y, MATERN, threads));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cached_incremental", n), &n, |b, _| {
+            // Warm the cache with the n-1 prefix, then measure the
+            // one-row incremental update a BO iteration performs.
+            b.iter(|| {
+                let mut cache = GpFitCache::new();
+                cache.fit_auto(&x[..n - 1], &y[..n - 1], MATERN);
+                cache.fit_auto(&x, &y, MATERN)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached_hot", n), &n, |b, _| {
+            // Steady state: all rows already cached, the fit is pure
+            // re-selection (O(n²) solves, no factorization).
+            let mut cache = GpFitCache::new();
+            cache.fit_auto(&x, &y, MATERN);
+            b.iter(|| cache.fit_auto(&x, &y, MATERN));
+        });
+    }
     group.finish();
 }
 
@@ -70,6 +119,10 @@ fn bench_trees(c: &mut Criterion) {
     group.bench_function("forest_fit_n200", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| RandomForest::fit(&x, &y, ForestParams::default(), &mut rng));
+    });
+    group.bench_function("forest_fit_n200_threads1", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| RandomForest::fit_threads(&x, &y, ForestParams::default(), &mut rng, 1));
     });
     let mut rng = StdRng::seed_from_u64(3);
     let forest = RandomForest::fit(&x, &y, ForestParams::default(), &mut rng);
@@ -95,6 +148,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_gp, bench_trees, bench_kmedoids
+    targets = bench_gp, bench_fit_auto, bench_trees, bench_kmedoids
 }
 criterion_main!(benches);

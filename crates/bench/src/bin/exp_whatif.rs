@@ -88,14 +88,18 @@ fn main() {
             }
         }
 
-        // Question 3: heterogeneous configurations.
+        // Question 3: heterogeneous configurations. The predictions
+        // are batched so the profile's stage totals are summed once
+        // for all 25 what-if questions.
+        let envs: Vec<SparkEnv> = random_pool(&space, 25, 0xE16 + w.name().len() as u64)
+            .iter()
+            .filter_map(|c| SparkEnv::resolve(&base_cluster, c).ok())
+            .collect();
+        let preds = profile.predict_many(&envs);
         let mut hetero_pairs = Vec::new();
-        for c in random_pool(&space, 25, 0xE16 + w.name().len() as u64) {
-            let Ok(env) = SparkEnv::resolve(&base_cluster, &c) else {
-                continue;
-            };
-            if let Some(act) = actual(&env, &job, 300) {
-                hetero_pairs.push((profile.predict(&env), act));
+        for (env, pred) in envs.iter().zip(preds) {
+            if let Some(act) = actual(env, &job, 300) {
+                hetero_pairs.push((pred, act));
             }
         }
 

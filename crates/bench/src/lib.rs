@@ -196,6 +196,8 @@ mod tests {
 
 /// Evaluates every configuration in `pool` (same job, same replicas) in
 /// parallel using scoped threads — the experiment harness's hot loop.
+/// Built on [`models::par`], the same fork-join layer the surrogate
+/// models use, so worker count follows `SEAMLESS_THREADS`.
 pub fn eval_pool(
     cluster: &ClusterSpec,
     job: &JobSpec,
@@ -203,22 +205,9 @@ pub fn eval_pool(
     interference: InterferenceModel,
     seeds: &[u64],
 ) -> Vec<EvalSummary> {
-    const THREADS: usize = 8;
-    let mut out: Vec<Option<EvalSummary>> = vec![None; pool.len()];
-    let chunk = pool.len().div_ceil(THREADS).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (configs, results) in pool.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (cfg, slot) in configs.iter().zip(results.iter_mut()) {
-                    *slot = Some(eval_config(cluster, job, cfg, interference, seeds));
-                }
-            });
-        }
+    models::par::par_map(pool, |cfg| {
+        eval_config(cluster, job, cfg, interference, seeds)
     })
-    .expect("evaluation threads do not panic");
-    out.into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
 }
 
 #[cfg(test)]

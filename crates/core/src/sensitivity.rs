@@ -97,14 +97,20 @@ pub fn additive_effects(space: &ParamSpace, history: &[Observation]) -> Sensitiv
         .iter()
         .enumerate()
         .map(|(d, p)| {
-            let curve: Vec<(f64, f64)> = (0..GRID)
+            // One batched prediction per parameter: the GRID queries
+            // share the GP's scratch buffers instead of allocating per
+            // grid point.
+            let queries: Vec<Vec<f64>> = (0..GRID)
                 .map(|g| {
-                    let v = g as f64 / (GRID - 1) as f64;
                     let mut q = base.clone();
-                    q[d] = v;
-                    let (m, _) = gp.predict(&q);
-                    (v, m)
+                    q[d] = g as f64 / (GRID - 1) as f64;
+                    q
                 })
+                .collect();
+            let curve: Vec<(f64, f64)> = queries
+                .iter()
+                .zip(gp.predict_batch(&queries))
+                .map(|(q, (m, _))| (q[d], m))
                 .collect();
             let (lo, hi) = curve
                 .iter()

@@ -5,7 +5,7 @@
 //! contrasts with 500-sample search (§IV-C).
 
 use confspace::{neighbor, Configuration, LatinHypercube, ParamSpace, Sampler, UniformSampler};
-use models::{expected_improvement, GpRegressor, Kernel};
+use models::{expected_improvement, FitKind, GpFitCache, Kernel};
 use rand::RngCore;
 
 use crate::objective::Observation;
@@ -14,6 +14,10 @@ use crate::tuner::{best_observation, encode_history, Tuner};
 /// Maximum observations kept for the GP fit (most recent + the best are
 /// retained): bounds the O(n³) Cholesky cost for long sessions.
 const MAX_GP_POINTS: usize = 120;
+
+/// Candidates scored per parallel chunk in the acquisition loop: large
+/// enough to amortize scratch-buffer reuse and thread hand-off.
+const EI_CHUNK: usize = 64;
 
 /// GP Bayesian optimization with EI acquisition.
 #[derive(Debug, Clone)]
@@ -24,8 +28,14 @@ pub struct BayesOpt {
     pub candidates: usize,
     /// Extra neighbourhood candidates around the incumbent.
     pub local_candidates: usize,
+    /// Whether consecutive proposals reuse cached Cholesky factors
+    /// (incremental O(n²) updates while history only grows). The
+    /// proposals are identical either way; disabling only exists for
+    /// benchmarks and equivalence tests.
+    pub use_fit_cache: bool,
     kernel: Kernel,
     pending_init: Vec<Configuration>,
+    fit_cache: GpFitCache,
 }
 
 impl Default for BayesOpt {
@@ -50,8 +60,10 @@ impl BayesOpt {
             init_samples: 8,
             candidates: 256,
             local_candidates: 64,
+            use_fit_cache: true,
             kernel,
             pending_init: Vec::new(),
+            fit_cache: GpFitCache::new(),
         }
     }
 
@@ -59,17 +71,25 @@ impl BayesOpt {
         if history.len() <= MAX_GP_POINTS {
             return history.iter().collect();
         }
-        // Keep the best third and the most recent two-thirds.
+        // Keep the best third and the most recent two-thirds, tracking
+        // membership by index so dedup is O(n) instead of rescanning
+        // the kept vector per element.
         let keep_best = MAX_GP_POINTS / 3;
-        let mut by_runtime: Vec<&Observation> = history.iter().collect();
-        by_runtime.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
-        let mut kept: Vec<&Observation> = by_runtime.into_iter().take(keep_best).collect();
-        for o in history.iter().rev() {
+        let mut by_runtime: Vec<usize> = (0..history.len()).collect();
+        by_runtime.sort_by(|&a, &b| history[a].runtime_s.total_cmp(&history[b].runtime_s));
+        by_runtime.truncate(keep_best);
+        let mut is_kept = vec![false; history.len()];
+        for &i in &by_runtime {
+            is_kept[i] = true;
+        }
+        let mut kept: Vec<&Observation> = by_runtime.iter().map(|&i| &history[i]).collect();
+        for i in (0..history.len()).rev() {
             if kept.len() >= MAX_GP_POINTS {
                 break;
             }
-            if !kept.iter().any(|k| std::ptr::eq(*k, o)) {
-                kept.push(o);
+            if !is_kept[i] {
+                is_kept[i] = true;
+                kept.push(&history[i]);
             }
         }
         kept
@@ -100,11 +120,32 @@ impl Tuner for BayesOpt {
         let kept = self.subsample(history);
         let owned: Vec<Observation> = kept.into_iter().cloned().collect();
         let (x, y) = encode_history(space, &owned);
+        let reg = obs::registry();
+        reg.gauge("par.threads")
+            .set(models::par::num_threads() as f64);
         let gp = {
             let _fit = obs::span("surrogate_fit").with("points", y.len());
-            obs::registry()
-                .histogram("bo.surrogate_fit_s")
-                .time(|| GpRegressor::fit_auto(&x, &y, self.kernel))
+            let start = std::time::Instant::now();
+            let (gp, kind) = if self.use_fit_cache {
+                self.fit_cache.fit_auto(&x, &y, self.kernel)
+            } else {
+                self.fit_cache.clear();
+                self.fit_cache.fit_auto(&x, &y, self.kernel)
+            };
+            let secs = start.elapsed().as_secs_f64();
+            reg.histogram("bo.surrogate_fit_s").record_secs(secs);
+            match kind {
+                FitKind::Incremental => {
+                    reg.counter("bo.fit_cache.hit").inc();
+                    reg.histogram("bo.surrogate_fit_incremental_s")
+                        .record_secs(secs);
+                }
+                FitKind::Full => {
+                    reg.counter("bo.fit_cache.miss").inc();
+                    reg.histogram("bo.surrogate_fit_full_s").record_secs(secs);
+                }
+            }
+            gp
         };
 
         let best_ln = best_observation(history)
@@ -120,22 +161,31 @@ impl Tuner for BayesOpt {
         }
 
         let _acq = obs::span("acquisition").with("candidates", cands.len());
-        obs::registry().histogram("bo.acquisition_s").time(|| {
-            cands
+        reg.histogram("bo.acquisition_s").time(|| {
+            // Score candidates in parallel chunks; each chunk's batched
+            // prediction reuses one set of scratch buffers. Scores come
+            // back in candidate order, so the arg-max (last maximum on
+            // ties, matching the sequential scan) is thread-count
+            // independent.
+            let encoded: Vec<Vec<f64>> = cands.iter().map(|c| space.encode(c)).collect();
+            let scores = models::par::par_chunks(&encoded, EI_CHUNK, |chunk| {
+                gp.predict_batch(chunk)
+                    .into_iter()
+                    .map(|(m, s)| expected_improvement(m, s, best_ln))
+                    .collect()
+            });
+            scores
                 .into_iter()
-                .map(|c| {
-                    let (m, s) = gp.predict(&space.encode(&c));
-                    let ei = expected_improvement(m, s, best_ln);
-                    (c, ei)
-                })
+                .enumerate()
                 .max_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(c, _)| c)
+                .map(|(i, _)| cands.swap_remove(i))
                 .unwrap_or_else(|| UniformSampler.sample(space, rng))
         })
     }
 
     fn reset(&mut self) {
         self.pending_init.clear();
+        self.fit_cache.clear();
     }
 }
 

@@ -99,18 +99,50 @@ impl JobProfile {
     /// What-if prediction with an input-size ratio (Starfish's
     /// "input data y" questions): component volumes scale linearly.
     pub fn predict_scaled(&self, target: &SparkEnv, input_ratio: f64) -> f64 {
+        let (cpu, io, net) = self.busy_totals();
+        self.predict_from_totals(target, input_ratio, cpu, io, net)
+    }
+
+    /// Batched what-if: predicts the job's runtime under every target
+    /// environment, summing the profile's per-stage resource components
+    /// once instead of per query — the experiment harness asks dozens
+    /// of what-if questions per profile.
+    pub fn predict_many(&self, targets: &[SparkEnv]) -> Vec<f64> {
+        let (cpu, io, net) = self.busy_totals();
+        targets
+            .iter()
+            .map(|t| self.predict_from_totals(t, 1.0, cpu, io, net))
+            .collect()
+    }
+
+    /// Total profiled busy seconds per resource class:
+    /// `(cpu-like, disk, network)`.
+    fn busy_totals(&self) -> (f64, f64, f64) {
+        let mut cpu = 0.0;
+        let mut io = 0.0;
+        let mut net = 0.0;
+        for s in &self.stages {
+            cpu += s.cpu_s + s.gc_s + s.ser_s;
+            io += s.io_s;
+            net += s.net_s;
+        }
+        (cpu, io, net)
+    }
+
+    fn predict_from_totals(
+        &self,
+        target: &SparkEnv,
+        input_ratio: f64,
+        cpu: f64,
+        io: f64,
+        net: f64,
+    ) -> f64 {
         let tgt_slots = f64::from(target.total_slots().max(1));
         let tgt_cpu = target.cluster.instance.cpu_speed / target.cpu_contention();
         let cpu_ratio = self.src_cpu / tgt_cpu.max(1e-9);
         let disk_ratio = self.src_disk / target.cluster.instance.disk_mbps.max(1e-9);
         let net_ratio = self.src_net / target.cluster.instance.net_mbps.max(1e-9);
-
-        let mut busy = 0.0;
-        for s in &self.stages {
-            busy += (s.cpu_s + s.gc_s + s.ser_s) * cpu_ratio
-                + s.io_s * disk_ratio
-                + s.net_s * net_ratio;
-        }
+        let busy = cpu * cpu_ratio + io * disk_ratio + net * net_ratio;
         busy * input_ratio / tgt_slots + self.overhead_s
     }
 

@@ -1,0 +1,70 @@
+//! End-to-end determinism of the optimized BO hot path: the incremental
+//! fit cache and the parallel acquisition scoring are pure performance
+//! features, so a cached tuner must emit *exactly* the proposal
+//! sequence an uncached one does for the same seed.
+
+use confspace::{Configuration, ParamDef, ParamSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seamless_core::tuner::{BayesOpt, Tuner};
+use seamless_core::Observation;
+
+fn synth_space() -> ParamSpace {
+    ParamSpace::new()
+        .with(ParamDef::int("a", 0, 100, 50, ""))
+        .with(ParamDef::int("b", 0, 100, 50, ""))
+}
+
+fn synth_eval(cfg: &Configuration) -> f64 {
+    let a = cfg.int("a") as f64;
+    let b = cfg.int("b") as f64;
+    10.0 + ((a - 70.0) / 10.0).powi(2) + ((b - 30.0) / 10.0).powi(2)
+}
+
+fn proposal_sequence(tuner: &mut BayesOpt, budget: usize, seed: u64) -> Vec<Configuration> {
+    let space = synth_space();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = Vec::new();
+    let mut proposals = Vec::new();
+    for _ in 0..budget {
+        let cfg = tuner.propose(&space, &history, &mut rng);
+        let runtime_s = synth_eval(&cfg);
+        proposals.push(cfg.clone());
+        history.push(Observation {
+            config: cfg,
+            runtime_s,
+            cost_usd: 0.0,
+            metrics: None,
+            failure: None,
+        });
+    }
+    proposals
+}
+
+#[test]
+fn cached_bo_proposes_exactly_what_uncached_bo_does() {
+    for seed in [1u64, 9, 42] {
+        let mut cached = BayesOpt::new();
+        assert!(cached.use_fit_cache, "cache is on by default");
+        let mut uncached = BayesOpt::new();
+        uncached.use_fit_cache = false;
+
+        let a = proposal_sequence(&mut cached, 28, seed);
+        let b = proposal_sequence(&mut uncached, 28, seed);
+        assert_eq!(a, b, "proposal sequences diverge for seed {seed}");
+    }
+}
+
+#[test]
+fn reset_clears_the_fit_cache() {
+    // After a reset the tuner must behave exactly like a fresh one —
+    // no stale factors leaking across sessions.
+    let mut reused = BayesOpt::new();
+    let _ = proposal_sequence(&mut reused, 15, 5);
+    reused.reset();
+    let again = proposal_sequence(&mut reused, 15, 5);
+
+    let mut fresh = BayesOpt::new();
+    let first = proposal_sequence(&mut fresh, 15, 5);
+    assert_eq!(again, first, "reset tuner diverges from a fresh tuner");
+}

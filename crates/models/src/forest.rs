@@ -2,8 +2,10 @@
 //! (§II-A): bootstrap resampling + random-subspace CART trees, with an
 //! ensemble-spread uncertainty estimate.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::par;
 use crate::stats::{mean, std_dev};
 use crate::tree::{RegressionTree, TreeParams};
 
@@ -34,6 +36,11 @@ pub struct RandomForest {
 impl RandomForest {
     /// Fits a forest on `(x, y)` with bootstrap resampling.
     ///
+    /// Trees are induced in parallel over [`par::num_threads`] scoped
+    /// workers. Each tree gets its own seed split off the master RNG up
+    /// front, so the fitted forest depends only on the seed — not on
+    /// the thread count or interleaving.
+    ///
     /// # Panics
     ///
     /// Panics if `x` is empty or lengths mismatch.
@@ -42,6 +49,22 @@ impl RandomForest {
         y: &[f64],
         params: ForestParams,
         rng: &mut R,
+    ) -> Self {
+        Self::fit_threads(x, y, params, rng, par::num_threads())
+    }
+
+    /// [`RandomForest::fit`] with an explicit worker count
+    /// (equivalence tests pin this; `1` is a fully sequential fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths mismatch.
+    pub fn fit_threads<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: ForestParams,
+        rng: &mut R,
+        threads: usize,
     ) -> Self {
         assert!(!x.is_empty(), "forest needs at least one sample");
         assert_eq!(x.len(), y.len(), "X and y length mismatch");
@@ -55,17 +78,17 @@ impl RandomForest {
             ..params.tree
         };
         let n = x.len();
-        let trees = (0..params.n_trees.max(1))
-            .map(|_| {
-                let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = (0..n)
-                    .map(|_| {
-                        let i = rng.gen_range(0..n);
-                        (x[i].clone(), y[i])
-                    })
-                    .unzip();
-                RegressionTree::fit(&bx, &by, tree_params, rng)
-            })
-            .collect();
+        let seeds: Vec<u64> = (0..params.n_trees.max(1)).map(|_| rng.next_u64()).collect();
+        let trees = par::par_map_threads(&seeds, threads, |&seed| {
+            let mut tree_rng = StdRng::seed_from_u64(seed);
+            let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = (0..n)
+                .map(|_| {
+                    let i = tree_rng.gen_range(0..n);
+                    (x[i].clone(), y[i])
+                })
+                .unzip();
+            RegressionTree::fit(&bx, &by, tree_params, &mut tree_rng)
+        });
         RandomForest { trees }
     }
 

@@ -3,6 +3,7 @@
 //! (§V-A: interpretable, per-dimension decomposable models).
 
 use crate::linalg::{LinalgError, Matrix};
+use crate::par;
 use crate::stats::{mean, normal_cdf, normal_pdf, std_dev};
 
 /// Covariance kernels over `[0,1]^d` feature vectors.
@@ -144,6 +145,86 @@ pub struct GpRegressor {
     lml: f64,
 }
 
+/// Length-scale grid searched by [`GpRegressor::fit_auto`].
+const LS_GRID: [f64; 5] = [0.1, 0.2, 0.4, 0.8, 1.6];
+/// Noise grid searched per length scale (the grid is ls-major: grid
+/// point `g` is `(LS_GRID[g / 3], NOISE_GRID[g % 3])`).
+const NOISE_GRID: [f64; 3] = [1e-4, 1e-2, 5e-2];
+
+/// Target standardization shared by every fitting path:
+/// `(mean, std, standardized targets)`.
+fn standardize(y: &[f64]) -> (f64, f64, Vec<f64>) {
+    let y_mean = mean(y);
+    let y_std = std_dev(y).max(1e-9);
+    let ys = y.iter().map(|v| (v - y_mean) / y_std).collect();
+    (y_mean, y_std, ys)
+}
+
+/// Kernel Gram matrix of `x` — *without* the observation-noise
+/// diagonal, so one build can serve every noise grid point.
+fn kernel_gram(x: &[Vec<f64>], kernel: Kernel) -> Matrix {
+    let n = x.len();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = kernel.eval(&x[i], &x[j]);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+    }
+    k
+}
+
+/// GP weights and log marginal likelihood from an existing Cholesky
+/// factor of the noisy kernel matrix: `(alpha, lml)`.
+fn gp_weights(chol: &Matrix, ys: &[f64]) -> (Vec<f64>, f64) {
+    let n = chol.rows();
+    let z = chol.solve_lower(ys);
+    let alpha = chol.solve_lower_transpose(&z);
+    let data_fit: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+    let log_det: f64 = (0..n).map(|i| chol[(i, i)].ln()).sum();
+    let lml = -0.5 * data_fit - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    (alpha, lml)
+}
+
+/// Factorizes `gram + (noise + 1e-8)·I` and solves for the GP weights.
+fn factorize(
+    gram: &Matrix,
+    noise: f64,
+    ys: &[f64],
+) -> Result<(Matrix, Vec<f64>, f64), LinalgError> {
+    let mut k = gram.clone();
+    for i in 0..k.rows() {
+        k[(i, i)] += noise + 1e-8;
+    }
+    let chol = k.cholesky()?;
+    let (alpha, lml) = gp_weights(&chol, ys);
+    Ok((chol, alpha, lml))
+}
+
+/// Factorizes the whole `fit_auto` grid, building each length scale's
+/// Gram matrix once and refactorizing per noise level (5 builds instead
+/// of 15). Length scales fan out over `threads` scoped workers; the
+/// returned vector is in deterministic ls-major grid order regardless
+/// of the thread count. `None` marks grid points whose kernel matrix is
+/// not positive definite.
+#[allow(clippy::type_complexity)]
+fn grid_factorize(
+    x: &[Vec<f64>],
+    ys: &[f64],
+    base: Kernel,
+    threads: usize,
+) -> Vec<Option<(Matrix, Vec<f64>, f64)>> {
+    par::par_map_threads(&LS_GRID, threads, |&ls| {
+        let kernel = base.with_length_scale(ls);
+        let gram = kernel_gram(x, kernel);
+        NOISE_GRID.map(|noise| factorize(&gram, noise, ys).ok())
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 impl GpRegressor {
     /// Fits a GP with the given kernel and observation-noise variance
     /// (in standardized-target units).
@@ -159,29 +240,8 @@ impl GpRegressor {
     pub fn fit(x: &[Vec<f64>], y: &[f64], kernel: Kernel, noise: f64) -> Result<Self, LinalgError> {
         assert!(!x.is_empty(), "GP needs at least one observation");
         assert_eq!(x.len(), y.len(), "X and y length mismatch");
-        let y_mean = mean(y);
-        let y_std = std_dev(y).max(1e-9);
-        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
-
-        let n = x.len();
-        let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let v = kernel.eval(&x[i], &x[j]);
-                k[(i, j)] = v;
-                k[(j, i)] = v;
-            }
-            k[(i, i)] += noise + 1e-8;
-        }
-        let chol = k.cholesky()?;
-        let z = chol.solve_lower(&ys);
-        let alpha = chol.solve_lower_transpose(&z);
-
-        // log marginal likelihood (standardized units).
-        let data_fit: f64 = ys.iter().zip(&alpha).map(|(a, b)| a * b).sum();
-        let log_det: f64 = (0..n).map(|i| chol[(i, i)].ln()).sum();
-        let lml = -0.5 * data_fit - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
-
+        let (y_mean, y_std, ys) = standardize(y);
+        let (chol, alpha, lml) = factorize(&kernel_gram(x, kernel), noise, &ys)?;
         Ok(GpRegressor {
             kernel,
             noise,
@@ -198,34 +258,67 @@ impl GpRegressor {
     /// marginal likelihood over a small grid — the pragmatic
     /// hyperparameter treatment CherryPick-style tuners use.
     ///
+    /// The grid is evaluated in parallel ([`par::num_threads`] scoped
+    /// workers, one Gram matrix per length scale shared across noise
+    /// levels); the selected model is identical to a sequential scan of
+    /// the grid regardless of the thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `x` is empty or lengths mismatch.
     pub fn fit_auto(x: &[Vec<f64>], y: &[f64], base: Kernel) -> Self {
-        let mut best: Option<GpRegressor> = None;
-        for &ls in &[0.1, 0.2, 0.4, 0.8, 1.6] {
-            for &noise in &[1e-4, 1e-2, 5e-2] {
-                if let Ok(gp) = GpRegressor::fit(x, y, base.with_length_scale(ls), noise) {
-                    let better = best.as_ref().is_none_or(|b| gp.lml > b.lml);
-                    if better {
-                        best = Some(gp);
-                    }
-                }
-            }
-        }
-        best.unwrap_or_else(|| {
-            // Fall back to a heavily-regularized fit, which cannot fail
-            // for sane inputs.
-            GpRegressor::fit(x, y, base.with_length_scale(1.0), 1.0)
-                .expect("regularized GP fit cannot fail")
-        })
+        Self::fit_auto_threads(x, y, base, par::num_threads())
+    }
+
+    /// [`GpRegressor::fit_auto`] with an explicit worker count
+    /// (equivalence tests pin this; `1` is a fully sequential fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths mismatch.
+    pub fn fit_auto_threads(x: &[Vec<f64>], y: &[f64], base: Kernel, threads: usize) -> Self {
+        GpFitCache::default().refit_full(x, y, base, threads)
     }
 
     /// Posterior predictive mean and standard deviation at `q`.
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
-        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let n = self.x.len();
+        let mut kstar = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        self.predict_into(q, &mut kstar, &mut v)
+    }
+
+    /// Batched posterior prediction: one `(mean, std)` per query row,
+    /// reusing the `kstar` / solve scratch buffers across queries
+    /// instead of allocating two vectors per call. Results are
+    /// identical to calling [`GpRegressor::predict`] per query.
+    pub fn predict_batch(&self, qs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let n = self.x.len();
+        let mut kstar = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        qs.iter()
+            .map(|q| self.predict_into(q, &mut kstar, &mut v))
+            .collect()
+    }
+
+    /// Prediction kernel shared by [`GpRegressor::predict`] and
+    /// [`GpRegressor::predict_batch`]: same operations, caller-owned
+    /// scratch.
+    fn predict_into(&self, q: &[f64], kstar: &mut [f64], v: &mut [f64]) -> (f64, f64) {
+        let n = self.x.len();
+        for (slot, xi) in kstar.iter_mut().zip(&self.x) {
+            *slot = self.kernel.eval(xi, q);
+        }
         let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
-        let v = self.chol.solve_lower(&kstar);
+        // Forward substitution (the same operations `solve_lower` runs,
+        // writing into the scratch buffer instead of a fresh vector).
+        for i in 0..n {
+            let mut sum = kstar[i];
+            for (j, &vj) in v.iter().enumerate().take(i) {
+                sum -= self.chol[(i, j)] * vj;
+            }
+            v[i] = sum / self.chol[(i, i)];
+        }
         let kss = self.kernel.eval(q, q) + self.noise;
         let var = (kss - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
         (mean_std * self.y_std + self.y_mean, var.sqrt() * self.y_std)
@@ -244,6 +337,206 @@ impl GpRegressor {
     /// Whether the training set is empty (never true for a fitted GP).
     pub fn is_empty(&self) -> bool {
         self.x.is_empty()
+    }
+}
+
+/// Which path a cached `fit_auto` took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitKind {
+    /// Full grid refit: O(n³) per grid point.
+    Full,
+    /// Incremental update of cached factors: O(n²) per grid point.
+    Incremental,
+}
+
+/// Incremental surrogate cache for the `fit_auto` grid.
+///
+/// A Bayesian-optimization loop refits its GP on every proposal, but
+/// between consecutive proposals the history usually only *grows* by
+/// the point just evaluated. This cache keeps the Cholesky factor of
+/// every `(length scale, noise)` grid point; when the new training set
+/// extends the cached one, each factor is grown with
+/// [`Matrix::cholesky_append`] in O(n²) instead of refactorized in
+/// O(n³), and hyperparameter selection reruns over the updated factors.
+///
+/// Invalidation rule: a different base kernel, or a history that shrank
+/// or diverged from the cached prefix, triggers a full refit (which
+/// also repopulates the cache).
+///
+/// Both paths produce bit-for-bit the model an uncached
+/// [`GpRegressor::fit_auto`] would select: appended rows reproduce the
+/// exact arithmetic of a from-scratch factorization, and selection
+/// scans the grid in the same order.
+#[derive(Debug, Clone, Default)]
+pub struct GpFitCache {
+    state: Option<CacheState>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheState {
+    base: Kernel,
+    x: Vec<Vec<f64>>,
+    /// One factor per grid point in ls-major order; `None` when that
+    /// grid point's kernel matrix is not positive definite.
+    chols: Vec<Option<Matrix>>,
+}
+
+impl GpFitCache {
+    /// An empty cache (first fit is always [`FitKind::Full`]).
+    pub fn new() -> Self {
+        GpFitCache::default()
+    }
+
+    /// Drops any cached state.
+    pub fn clear(&mut self) {
+        self.state = None;
+    }
+
+    /// Number of training points the cached factors cover.
+    pub fn cached_points(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.x.len())
+    }
+
+    /// Cached [`GpRegressor::fit_auto`]: incremental when the training
+    /// set extends the cached one under the same base kernel, full grid
+    /// refit otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths mismatch.
+    pub fn fit_auto(&mut self, x: &[Vec<f64>], y: &[f64], base: Kernel) -> (GpRegressor, FitKind) {
+        self.fit_auto_threads(x, y, base, par::num_threads())
+    }
+
+    /// [`GpFitCache::fit_auto`] with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths mismatch.
+    pub fn fit_auto_threads(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        base: Kernel,
+        threads: usize,
+    ) -> (GpRegressor, FitKind) {
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        assert_eq!(x.len(), y.len(), "X and y length mismatch");
+        let hit = self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.base == base && x.len() >= s.x.len() && x[..s.x.len()] == s.x[..]);
+        if !hit {
+            return (self.refit_full(x, y, base, threads), FitKind::Full);
+        }
+
+        let state = self.state.as_mut().expect("hit implies cached state");
+        let n_old = state.x.len();
+        let new_points = &x[n_old..];
+        if !new_points.is_empty() {
+            // Grow every factor by the appended points; length scales
+            // fan out in parallel, noise levels share each new kernel
+            // row (its off-diagonal entries don't involve the noise).
+            let chols = std::mem::take(&mut state.chols);
+            let mut it = chols.into_iter();
+            let items: Vec<(f64, Vec<Option<Matrix>>)> = LS_GRID
+                .iter()
+                .map(|&ls| (ls, (&mut it).take(NOISE_GRID.len()).collect()))
+                .collect();
+            let grown = par::par_map_threads(&items, threads, |(ls, group)| {
+                let kernel = base.with_length_scale(*ls);
+                let mut group = group.clone();
+                for (p, q) in new_points.iter().enumerate() {
+                    let j = n_old + p;
+                    let row: Vec<f64> = x[..j].iter().map(|xi| kernel.eval(xi, q)).collect();
+                    let kqq = kernel.eval(q, q);
+                    for (slot, &noise) in group.iter_mut().zip(&NOISE_GRID) {
+                        *slot = slot
+                            .take()
+                            .and_then(|chol| chol.cholesky_append(&row, kqq + (noise + 1e-8)).ok());
+                    }
+                }
+                group
+            });
+            state.chols = grown.into_iter().flatten().collect();
+            state.x = x.to_vec();
+        }
+
+        // Re-run hyperparameter selection over the grown factors (the
+        // weights must be recomputed even for old points: target
+        // standardization depends on the full `y`).
+        let (y_mean, y_std, ys) = standardize(y);
+        let mut best: Option<(usize, Vec<f64>, f64)> = None;
+        for (g, slot) in state.chols.iter().enumerate() {
+            if let Some(chol) = slot {
+                let (alpha, lml) = gp_weights(chol, &ys);
+                if best.as_ref().is_none_or(|b| lml > b.2) {
+                    best = Some((g, alpha, lml));
+                }
+            }
+        }
+        let gp = match best {
+            Some((g, alpha, lml)) => GpRegressor {
+                kernel: base.with_length_scale(LS_GRID[g / NOISE_GRID.len()]),
+                noise: NOISE_GRID[g % NOISE_GRID.len()],
+                x: x.to_vec(),
+                chol: state.chols[g].clone().expect("best slot is Some"),
+                alpha,
+                y_mean,
+                y_std,
+                lml,
+            },
+            None => GpRegressor::fit(x, y, base.with_length_scale(1.0), 1.0)
+                .expect("regularized GP fit cannot fail"),
+        };
+        (gp, FitKind::Incremental)
+    }
+
+    /// Full grid fit; repopulates the cache as a side effect.
+    fn refit_full(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        base: Kernel,
+        threads: usize,
+    ) -> GpRegressor {
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        assert_eq!(x.len(), y.len(), "X and y length mismatch");
+        let (y_mean, y_std, ys) = standardize(y);
+        let fits = grid_factorize(x, &ys, base, threads);
+        let mut chols: Vec<Option<Matrix>> = Vec::with_capacity(fits.len());
+        let mut best: Option<(usize, Vec<f64>, f64)> = None;
+        for (g, slot) in fits.into_iter().enumerate() {
+            match slot {
+                Some((chol, alpha, lml)) => {
+                    if best.as_ref().is_none_or(|b| lml > b.2) {
+                        best = Some((g, alpha, lml));
+                    }
+                    chols.push(Some(chol));
+                }
+                None => chols.push(None),
+            }
+        }
+        let gp = match best {
+            Some((g, alpha, lml)) => GpRegressor {
+                kernel: base.with_length_scale(LS_GRID[g / NOISE_GRID.len()]),
+                noise: NOISE_GRID[g % NOISE_GRID.len()],
+                x: x.to_vec(),
+                chol: chols[g].clone().expect("best slot is Some"),
+                alpha,
+                y_mean,
+                y_std,
+                lml,
+            },
+            None => GpRegressor::fit(x, y, base.with_length_scale(1.0), 1.0)
+                .expect("regularized GP fit cannot fail"),
+        };
+        self.state = Some(CacheState {
+            base,
+            x: x.to_vec(),
+            chols,
+        });
+        gp
     }
 }
 

@@ -16,6 +16,8 @@
 //!   fixed-threshold baseline (§V-D re-tuning detection);
 //! * [`linalg`] — the small dense linear algebra (Cholesky, ridge
 //!   solves) the above need;
+//! * [`par`] — scoped-thread fork/join helpers the fitting hot paths
+//!   fan out over (`SEAMLESS_THREADS` overrides the worker count);
 //! * [`stats`] — shared statistics helpers.
 
 pub mod changepoint;
@@ -24,13 +26,16 @@ pub mod forest;
 pub mod gp;
 pub mod linalg;
 pub mod linear;
+pub mod par;
 pub mod stats;
 pub mod tree;
 
 pub use changepoint::{ChangeDetector, Cusum, FixedThreshold, PageHinkley};
 pub use cluster::{k_medoids, k_nearest, Clustering};
 pub use forest::{ForestParams, RandomForest};
-pub use gp::{expected_improvement, lower_confidence_bound, GpRegressor, Kernel};
+pub use gp::{
+    expected_improvement, lower_confidence_bound, FitKind, GpFitCache, GpRegressor, Kernel,
+};
 pub use linalg::{ridge_solve, LinalgError, Matrix};
 pub use linear::{ErnestModel, RidgeRegression};
 pub use tree::{RegressionTree, TreeParams};

@@ -157,6 +157,49 @@ impl Matrix {
         Ok(l)
     }
 
+    /// Incremental Cholesky: given `self = L` with `L Lᵀ = A` (n × n),
+    /// returns the factor of the bordered matrix
+    /// `[[A, a], [aᵀ, d]]` in O(n²) instead of refactorizing in O(n³).
+    ///
+    /// The appended row is computed with the same operations, in the
+    /// same order, as [`Matrix::cholesky`] would use for its last row,
+    /// so the result is bit-for-bit identical to a from-scratch
+    /// factorization of the grown matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when the new pivot
+    /// is non-positive (same tolerance as [`Matrix::cholesky`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `a.len() != self.rows()`.
+    pub fn cholesky_append(&self, a: &[f64], d: f64) -> Result<Matrix, LinalgError> {
+        assert_eq!(self.rows, self.cols, "cholesky_append needs a square L");
+        let n = self.rows;
+        assert_eq!(a.len(), n, "border column length mismatch");
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            l.data[i * (n + 1)..i * (n + 1) + n].copy_from_slice(self.row(i));
+        }
+        for j in 0..n {
+            let mut sum = a[j];
+            for k in 0..j {
+                sum -= l[(n, k)] * l[(j, k)];
+            }
+            l[(n, j)] = sum / l[(j, j)];
+        }
+        let mut sum = d;
+        for k in 0..n {
+            sum -= l[(n, k)] * l[(n, k)];
+        }
+        if sum <= 1e-12 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n });
+        }
+        l[(n, n)] = sum.sqrt();
+        Ok(l)
+    }
+
     /// Solves `L x = b` for lower-triangular `L` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
         let n = self.rows;
@@ -331,6 +374,40 @@ mod tests {
         let w1 = ridge_solve(&x, &y, 10.0).unwrap()[0];
         assert!((w0 - 1.0).abs() < 1e-12);
         assert!(w1 < w0 && w1 > 0.0);
+    }
+
+    #[test]
+    fn cholesky_append_matches_full_factorization() {
+        let a4 = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                6., 2., 1., 0.5, 2., 5., 2., 0.2, 1., 2., 4., 0.1, 0.5, 0.2, 0.1, 3.,
+            ],
+        );
+        let a3 = Matrix::from_vec(3, 3, vec![6., 2., 1., 2., 5., 2., 1., 2., 4.]);
+        let grown = a3
+            .cholesky()
+            .unwrap()
+            .cholesky_append(&[0.5, 0.2, 0.1], 3.0)
+            .unwrap();
+        let full = a4.cholesky().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(grown[(i, j)], full[(i, j)], "mismatch at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_append_rejects_indefinite_border() {
+        let a = Matrix::from_vec(2, 2, vec![4., 2., 2., 3.]);
+        let l = a.cholesky().unwrap();
+        // Border making the matrix singular: new point equals row 0.
+        assert!(matches!(
+            l.cholesky_append(&[4., 2.], 4.0),
+            Err(LinalgError::NotPositiveDefinite { pivot: 2 })
+        ));
     }
 
     #[test]

@@ -46,6 +46,33 @@ proptest! {
         }
     }
 
+    /// Appending a row to an existing Cholesky factor matches the
+    /// from-scratch factorization of the bordered matrix.
+    #[test]
+    fn cholesky_append_matches_full(seed in any::<u64>(), n in 2usize..8) {
+        let big = psd(n + 1, seed);
+        // Leading n×n principal minor and its border.
+        let small = Matrix::from_vec(
+            n, n,
+            (0..n).flat_map(|i| (0..n).map(move |j| (i, j)))
+                .map(|(i, j)| big[(i, j)]).collect(),
+        );
+        let a: Vec<f64> = (0..n).map(|j| big[(n, j)]).collect();
+        let d = big[(n, n)];
+
+        let l_small = small.cholesky().expect("principal minor of psd");
+        let appended = l_small.cholesky_append(&a, d).expect("psd border");
+        let full = big.cholesky().expect("psd");
+        for i in 0..=n {
+            for j in 0..=n {
+                prop_assert!(
+                    (appended[(i, j)] - full[(i, j)]).abs() < 1e-9,
+                    "L[{i},{j}] {} vs {}", appended[(i, j)], full[(i, j)]
+                );
+            }
+        }
+    }
+
     /// Triangular solves invert the factorization: A·x == b.
     #[test]
     fn cholesky_solve_inverts(seed in any::<u64>(), n in 2usize..8) {

@@ -1,5 +1,5 @@
 //! Calibration constants for the simulator, collected in one place
-//! (DESIGN.md §6). Values are chosen so the *shape* of published results
+//! (DESIGN.md §7). Values are chosen so the *shape* of published results
 //! holds: order-of-magnitude degradation for pathological configurations
 //! (DAC's 89×, CherryPick's 12×), a few-percent noise floor, and
 //! realistic CPU/IO/shuffle balances for the HiBench workloads.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Performance benchmark pipeline for the surrogate hot path.
+#
+# Usage: scripts/bench.sh
+#
+# Runs the Criterion micro-benchmarks (models + obs, short smoke
+# windows — see the `criterion_group!` configs) and then the
+# machine-readable latency benchmark, which writes `BENCH_models.json`
+# at the repo root with fit/predict/propose latencies at n = 32/120/512
+# and the speedups of the parallel and cached fit paths over the
+# sequential per-grid-point baseline.
+#
+# `SEAMLESS_THREADS=<k>` overrides the worker count used by the
+# parallel model-fitting layer (defaults to the machine's available
+# parallelism).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench -p bench --bench models"
+cargo bench -p bench --bench models
+
+echo "==> cargo bench -p bench --bench obs"
+cargo bench -p bench --bench obs
+
+echo "==> cargo run --release -p bench --bin bench_models_json"
+cargo run --release -p bench --bin bench_models_json
+
+echo "BENCH OK (results in BENCH_models.json)"

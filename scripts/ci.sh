@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo build -q -p bench --bins --benches"
+cargo build -q -p bench --bins --benches
+
 echo "CI OK"
