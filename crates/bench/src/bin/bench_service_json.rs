@@ -1,0 +1,201 @@
+//! Machine-readable latency benchmark for the batched multi-tenant
+//! tuning service, written to `BENCH_service.json` at the repo root.
+//!
+//! Measures (BayesOpt, stage budgets 6 + 16, transfer disabled so
+//! every run is interleaving-independent):
+//!
+//! * `single_tenant` — one `tune` call at batch sizes 1 / 4 / 8.
+//!   Batch 1 is the legacy strictly-sequential propose→evaluate loop
+//!   (bitwise-pinned by `tests/batch_equivalence.rs`); larger batches
+//!   amortize one surrogate fit and one acquisition scan across the
+//!   whole round, so they win even on a single core.
+//! * `multi_tenant` — an 8-tenant workload: the legacy shape (eight
+//!   sequential `tune` calls at batch 1) vs the concurrent batched
+//!   service (`tune_many` at batch 8). The headline `speedup` combines
+//!   round-level amortization with cross-tenant concurrency (the
+//!   latter contributing only when `threads > 1`).
+//! * `identical_best_at_equal_settings` — at *equal* settings
+//!   (batch 1, transfer off), `tune_many` must reproduce the eight
+//!   sequential outcomes exactly; the bench re-checks what the test
+//!   suite pins, on the bench workload.
+//!
+//! Run with: `cargo run --release -p bench --bin bench_service_json`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use seamless_core::objective::SimEnvironment;
+use seamless_core::{
+    HistoryStore, SeamlessTuner, ServiceConfig, ServiceOutcome, TenantRequest, TunerKind,
+};
+use serde::Serialize;
+use workloads::{DataScale, Wordcount, Workload};
+
+const TENANTS: usize = 8;
+const STAGE1_BUDGET: usize = 6;
+const STAGE2_BUDGET: usize = 16;
+
+#[derive(Debug, Serialize)]
+struct BatchReport {
+    batch: usize,
+    tune_s: f64,
+    speedup_vs_batch1: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct MultiTenantReport {
+    tenants: usize,
+    /// The legacy service shape: eight sequential `tune` calls, batch 1.
+    sequential_batch1_s: f64,
+    /// The batched concurrent service: one `tune_many`, batch 8.
+    tune_many_batch8_s: f64,
+    speedup: f64,
+    /// `tune_many` vs sequential at equal settings produced bitwise
+    /// identical best runtimes and configurations for every tenant.
+    identical_best_at_equal_settings: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    threads: usize,
+    tuner: String,
+    stage1_budget: usize,
+    stage2_budget: usize,
+    single_tenant: Vec<BatchReport>,
+    multi_tenant: MultiTenantReport,
+}
+
+fn service(batch: usize) -> SeamlessTuner {
+    SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::dedicated(7),
+        ServiceConfig {
+            tuner: TunerKind::BayesOpt,
+            stage1_budget: STAGE1_BUDGET,
+            stage2_budget: STAGE2_BUDGET,
+            transfer_k: 0,
+            batch,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn requests() -> Vec<TenantRequest> {
+    (0..TENANTS)
+        .map(|i| TenantRequest {
+            client: format!("tenant-{i}"),
+            workload: "wordcount".to_owned(),
+            job: Wordcount::new().job(DataScale::Tiny),
+            seed: 500 + i as u64,
+        })
+        .collect()
+}
+
+/// Median wall-clock seconds of `f` over `reps` runs (after one warm-up).
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn same_outcome(a: &ServiceOutcome, b: &ServiceOutcome) -> bool {
+    a.cloud_config == b.cloud_config
+        && a.disc_config == b.disc_config
+        && a.best_runtime_s.to_bits() == b.best_runtime_s.to_bits()
+}
+
+fn main() {
+    let threads = models::par::num_threads();
+    println!("bench_service_json: tenants={TENANTS}, threads={threads}");
+
+    // Part 1: one tenant, batch 1 / 4 / 8. A fresh service per run so
+    // the history store (and therefore surrogate fit cost) is identical
+    // across batch sizes.
+    let reqs = requests();
+    let mut single = Vec::new();
+    let mut batch1_s = f64::NAN;
+    for batch in [1usize, 4, 8] {
+        let r = &reqs[0];
+        let tune_s = time_median(3, || {
+            let svc = service(batch);
+            let _ = svc.tune(&r.client, &r.workload, &r.job, r.seed);
+        });
+        if batch == 1 {
+            batch1_s = tune_s;
+        }
+        let speedup = batch1_s / tune_s;
+        println!(
+            "batch={batch}  tune {:8.1}ms  ({speedup:.2}x vs batch 1)",
+            tune_s * 1e3
+        );
+        single.push(BatchReport {
+            batch,
+            tune_s,
+            speedup_vs_batch1: speedup,
+        });
+    }
+
+    // Part 2: the 8-tenant workload — legacy sequential loop vs the
+    // batched concurrent service.
+    let sequential_s = time_median(3, || {
+        let svc = service(1);
+        for r in &reqs {
+            let _ = svc.tune(&r.client, &r.workload, &r.job, r.seed);
+        }
+    });
+    let tune_many_s = time_median(3, || {
+        let svc = service(8);
+        let _ = svc.tune_many(&reqs);
+    });
+    let speedup = sequential_s / tune_many_s;
+    println!(
+        "{TENANTS} tenants: sequential(batch1) {:8.1}ms  tune_many(batch8) {:8.1}ms  ({speedup:.2}x)",
+        sequential_s * 1e3,
+        tune_many_s * 1e3,
+    );
+
+    // Equal-settings equivalence: with transfer disabled the store is
+    // write-only during tuning, so concurrency must not change results.
+    let seq_svc = service(1);
+    let seq_outcomes: Vec<ServiceOutcome> = reqs
+        .iter()
+        .map(|r| seq_svc.tune(&r.client, &r.workload, &r.job, r.seed))
+        .collect();
+    let par_svc = service(1);
+    let par_outcomes = par_svc.tune_many(&reqs);
+    let identical = seq_outcomes.len() == par_outcomes.len()
+        && seq_outcomes
+            .iter()
+            .zip(&par_outcomes)
+            .all(|(a, b)| same_outcome(a, b));
+    println!("identical best at equal settings: {identical}");
+    assert!(
+        identical,
+        "tune_many diverged from sequential tunes at equal settings"
+    );
+
+    let report = BenchReport {
+        threads,
+        tuner: "bayesopt".to_owned(),
+        stage1_budget: STAGE1_BUDGET,
+        stage2_budget: STAGE2_BUDGET,
+        single_tenant: single,
+        multi_tenant: MultiTenantReport {
+            tenants: TENANTS,
+            sequential_batch1_s: sequential_s,
+            tune_many_batch8_s: tune_many_s,
+            speedup,
+            identical_best_at_equal_settings: identical,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\n[written to BENCH_service.json]");
+}

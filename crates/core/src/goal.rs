@@ -10,7 +10,7 @@
 use confspace::{Configuration, ParamSpace};
 use serde::{Deserialize, Serialize};
 
-use crate::objective::{Objective, Observation, FAILURE_PENALTY_S};
+use crate::objective::{BatchObjective, Objective, Observation, FAILURE_PENALTY_S};
 
 /// What the end-user asked the service to optimize.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,6 +108,14 @@ impl<O: Objective> Objective for GoalObjective<O> {
 
     fn describe(&self) -> String {
         format!("{} [{}]", self.inner.describe(), self.goal.label())
+    }
+}
+
+impl<O: BatchObjective> BatchObjective for GoalObjective<O> {
+    fn evaluate_trial(&self, config: &Configuration, trial_seed: u64) -> Observation {
+        let mut obs = self.inner.evaluate_trial(config, trial_seed);
+        obs.runtime_s = self.goal.score(&obs);
+        obs
     }
 }
 

@@ -6,6 +6,16 @@
 //! only be leveraged by the cloud provider." This module is that
 //! record: a concurrent, append-only store of execution records with
 //! signature-based similarity queries.
+//!
+//! Concurrency layout: records are sharded by tenant hash across
+//! [`SHARD_COUNT`] independently locked vectors, so concurrent tenants
+//! insert without contending on one global lock. A global atomic hands
+//! out sequence numbers. Readers that only need *new* records use a
+//! [`HistoryCursor`] ([`HistoryStore::records_since`]) instead of the
+//! full-clone [`HistoryStore::snapshot`], which remains as the
+//! seq-ordered cold path for persistence and tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -13,6 +23,9 @@ use serde::{Deserialize, Serialize};
 use confspace::Configuration;
 
 use crate::characterize::WorkloadSignature;
+
+/// Number of tenant-hash shards in the store.
+pub const SHARD_COUNT: usize = 16;
 
 /// One execution record as the provider sees it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,10 +48,49 @@ pub struct ExecutionRecord {
     pub seq: u64,
 }
 
+/// An incremental read position over a [`HistoryStore`].
+///
+/// Tracks one position per shard; [`HistoryStore::records_since`]
+/// returns every record appended since the cursor last advanced,
+/// exactly once, without cloning the rest of the store.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryCursor {
+    positions: [usize; SHARD_COUNT],
+}
+
+impl HistoryCursor {
+    /// A cursor positioned at the beginning of the store (the first
+    /// [`HistoryStore::records_since`] call sees everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A concurrent multi-tenant history store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HistoryStore {
-    records: RwLock<Vec<ExecutionRecord>>,
+    shards: [RwLock<Vec<ExecutionRecord>>; SHARD_COUNT],
+    next_seq: AtomicU64,
+}
+
+impl Default for HistoryStore {
+    fn default() -> Self {
+        HistoryStore {
+            shards: std::array::from_fn(|_| RwLock::new(Vec::new())),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// FNV-1a over the tenant id — stable across runs so a tenant's records
+/// always land in the same shard.
+fn shard_of(client: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in client.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h as usize) % SHARD_COUNT
 }
 
 impl HistoryStore {
@@ -52,33 +104,59 @@ impl HistoryStore {
         let reg = obs::registry();
         reg.counter("history.inserts").inc();
         reg.histogram("history.insert_s").time(|| {
-            let mut records = self.records.write();
-            let seq = records.len() as u64;
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             record.seq = seq;
-            records.push(record);
-            reg.gauge("history.records").set(records.len() as f64);
+            self.shards[shard_of(&record.client)].write().push(record);
+            reg.gauge("history.records").set((seq + 1) as f64);
             seq
         })
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        self.next_seq.load(Ordering::Relaxed) as usize
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.len() == 0
     }
 
-    /// All records (cloned snapshot).
+    /// All records, cloned and ordered by sequence number. This is the
+    /// cold path (persistence, offline analysis); concurrent readers on
+    /// the tuning hot path should use [`HistoryStore::records_since`].
     pub fn snapshot(&self) -> Vec<ExecutionRecord> {
-        self.records.read().clone()
+        let mut all: Vec<ExecutionRecord> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.read().iter().cloned());
+        }
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// Clones every record appended since `cursor` last advanced and
+    /// moves the cursor past them. Each record is returned exactly once
+    /// across successive calls; results are ordered by sequence number.
+    pub fn records_since(&self, cursor: &mut HistoryCursor) -> Vec<ExecutionRecord> {
+        let mut fresh = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let records = shard.read();
+            if cursor.positions[i] < records.len() {
+                fresh.extend(records[cursor.positions[i]..].iter().cloned());
+                cursor.positions[i] = records.len();
+            }
+        }
+        fresh.sort_by_key(|r| r.seq);
+        fresh
     }
 
     /// The `k` records most similar to `query` (by signature distance),
     /// optionally excluding one tenant (so a client's own runs don't
     /// masquerade as transfer).
+    ///
+    /// Two-pass: score every record under short per-shard read locks,
+    /// then clone only the winning `k` (ties broken by sequence number,
+    /// matching the old insertion-order stable sort).
     pub fn most_similar(
         &self,
         query: &WorkloadSignature,
@@ -88,14 +166,26 @@ impl HistoryStore {
         let reg = obs::registry();
         reg.counter("history.queries").inc();
         reg.histogram("history.query_s").time(|| {
-            let records = self.records.read();
-            let mut scored: Vec<(f64, &ExecutionRecord)> = records
-                .iter()
-                .filter(|r| exclude_client.is_none_or(|c| r.client != c))
-                .map(|r| (query.distance(&r.signature), r))
-                .collect();
-            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-            scored.into_iter().take(k).map(|(_, r)| r.clone()).collect()
+            // Pass 1: score (distance, seq, shard, position) without
+            // cloning any record.
+            let mut scored: Vec<(f64, u64, usize, usize)> = Vec::new();
+            for (si, shard) in self.shards.iter().enumerate() {
+                let records = shard.read();
+                for (pi, r) in records.iter().enumerate() {
+                    if exclude_client.is_some_and(|c| r.client == c) {
+                        continue;
+                    }
+                    scored.push((query.distance(&r.signature), r.seq, si, pi));
+                }
+            }
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            scored.truncate(k);
+            // Pass 2: clone the winners. Shards are append-only, so the
+            // (shard, position) coordinates remain valid.
+            scored
+                .into_iter()
+                .map(|(_, _, si, pi)| self.shards[si].read()[pi].clone())
+                .collect()
         })
     }
 
@@ -124,13 +214,16 @@ impl HistoryStore {
     }
 
     /// All records for one tenant's workload label, in sequence order.
+    /// Touches only the tenant's shard.
     pub fn for_workload(&self, client: &str, workload: &str) -> Vec<ExecutionRecord> {
-        self.records
+        let mut out: Vec<ExecutionRecord> = self.shards[shard_of(client)]
             .read()
             .iter()
             .filter(|r| r.client == client && r.workload == workload)
             .cloned()
-            .collect()
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
     }
 }
 
@@ -186,6 +279,17 @@ mod tests {
     }
 
     #[test]
+    fn most_similar_breaks_distance_ties_by_seq() {
+        let store = HistoryStore::new();
+        // Identical signatures from clients in different shards: the
+        // earlier insertion must win, as with the old stable sort.
+        store.insert(record("first", 50.0, 1.0));
+        store.insert(record("second", 50.0, 2.0));
+        let top = store.most_similar(&sig(50.0, 50.0), 1, None);
+        assert_eq!(top[0].client, "first");
+    }
+
+    #[test]
     fn exclusion_filters_a_tenant() {
         let store = HistoryStore::new();
         store.insert(record("a", 90.0, 10.0));
@@ -219,6 +323,37 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_seq_ordered_across_shards() {
+        let store = HistoryStore::new();
+        for i in 0..20 {
+            store.insert(record(&format!("client-{i}"), 50.0, i as f64));
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 20);
+        for (i, r) in snap.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn cursor_sees_each_record_exactly_once() {
+        let store = HistoryStore::new();
+        let mut cursor = HistoryCursor::new();
+        assert!(store.records_since(&mut cursor).is_empty());
+        for i in 0..6 {
+            store.insert(record(&format!("c{i}"), 40.0, i as f64));
+        }
+        let first = store.records_since(&mut cursor);
+        assert_eq!(first.len(), 6);
+        assert!(first.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(store.records_since(&mut cursor).is_empty());
+        store.insert(record("late", 60.0, 9.0));
+        let second = store.records_since(&mut cursor);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].client, "late");
+    }
+
+    #[test]
     fn store_is_shareable_across_threads() {
         use std::sync::Arc;
         let store = Arc::new(HistoryStore::new());
@@ -235,6 +370,10 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.len(), 100);
+        let snap = store.snapshot();
+        let mut seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 100, "sequence numbers must be unique");
     }
 }
 
@@ -242,17 +381,17 @@ mod tests {
 /// outlive any single process (§IV-C: "a centralized place that is
 /// able to keep a record … across users").
 impl HistoryStore {
-    /// Serializes every record as one JSON object per line.
+    /// Serializes every record as one JSON object per line, in
+    /// sequence order.
     ///
     /// # Errors
     ///
     /// Returns any serialization error (I/O is the caller's: write the
     /// returned string wherever the deployment keeps state).
     pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
-        let records = self.records.read();
         let mut out = String::new();
-        for r in records.iter() {
-            out.push_str(&serde_json::to_string(r)?);
+        for r in self.snapshot() {
+            out.push_str(&serde_json::to_string(&r)?);
             out.push('\n');
         }
         Ok(out)
@@ -274,6 +413,32 @@ impl HistoryStore {
             store.insert(record);
         }
         Ok(store)
+    }
+
+    /// Like [`HistoryStore::from_jsonl`], but skips malformed lines
+    /// instead of failing the whole load — one poisoned record must not
+    /// take the multi-tenant store down. Returns the store and the
+    /// number of lines skipped.
+    pub fn from_jsonl_lossy(data: &str) -> (Self, usize) {
+        let store = HistoryStore::new();
+        let mut skipped = 0usize;
+        for line in data.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<ExecutionRecord>(line) {
+                Ok(record) => {
+                    store.insert(record);
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        if skipped > 0 {
+            obs::registry()
+                .counter("history.load_skipped")
+                .add(skipped as u64);
+        }
+        (store, skipped)
     }
 }
 
@@ -318,6 +483,20 @@ mod persistence_tests {
         let store = HistoryStore::from_jsonl("\n\n").expect("empty ok");
         assert!(store.is_empty());
         assert!(HistoryStore::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn lossy_load_skips_poisoned_lines() {
+        let store = HistoryStore::new();
+        for i in 0..3 {
+            store.insert(record(i));
+        }
+        let mut dump = store.to_jsonl().expect("serializes");
+        dump.push_str("{\"this is\": \"not a record\"}\n");
+        dump.push_str("not even json\n");
+        let (restored, skipped) = HistoryStore::from_jsonl_lossy(&dump);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(skipped, 2);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!   history-driven transfer and managed re-tuning.
 
 pub mod characterize;
+pub mod executor;
 pub mod goal;
 pub mod history;
 pub mod objective;
@@ -41,16 +42,17 @@ pub mod tuner;
 pub mod whatif;
 
 pub use characterize::WorkloadSignature;
+pub use executor::TrialExecutor;
 pub use goal::{GoalObjective, TuningGoal};
-pub use history::{ExecutionRecord, HistoryStore};
+pub use history::{ExecutionRecord, HistoryCursor, HistoryStore};
 pub use objective::{
-    CloudObjective, DiscObjective, JointObjective, Objective, Observation, SimEnvironment,
-    FAILURE_PENALTY_S,
+    BatchObjective, CloudObjective, DiscObjective, JointObjective, Objective, Observation,
+    SimEnvironment, FAILURE_PENALTY_S,
 };
 pub use retune::{RetuneMonitor, RetunePolicy};
 pub use sensitivity::{additive_effects, permutation_importance, SensitivityReport};
-pub use service::{ManagedWorkload, SeamlessTuner, ServiceConfig, ServiceOutcome};
+pub use service::{ManagedWorkload, SeamlessTuner, ServiceConfig, ServiceOutcome, TenantRequest};
 pub use slo::{AmortizationLedger, SloReport};
-pub use transfer::{ClusteredHistory, TransferTuner};
+pub use transfer::{ClusterIndex, ClusteredHistory, TransferTuner};
 pub use tuner::{Tuner, TunerKind, TuningOutcome, TuningSession};
 pub use whatif::JobProfile;

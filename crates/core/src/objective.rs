@@ -5,6 +5,8 @@
 //! the interface a tuning service has against a real cluster, which is
 //! what lets every strategy in [`crate::tuner`] be substrate-agnostic.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use confspace::{Configuration, ParamSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +68,20 @@ pub trait Objective {
     }
 }
 
+/// The thread-safe evaluation path batched trial execution needs: an
+/// objective that can run any number of trials concurrently from `&self`.
+///
+/// Where [`Objective::evaluate`] advances one mutable RNG stream (the
+/// sequential loop's semantics), `evaluate_trial` derives all of a
+/// trial's randomness from the explicit `trial_seed` — so a trial's
+/// outcome is a pure function of `(configuration, trial_seed)` and
+/// neither the batch size, the worker count, nor the completion order
+/// of its neighbours can change what it observes.
+pub trait BatchObjective: Objective + Sync {
+    /// Runs one execution under `config`, seeded by `trial_seed` alone.
+    fn evaluate_trial(&self, config: &Configuration, trial_seed: u64) -> Observation;
+}
+
 /// The simulated environment shared by the concrete objectives.
 #[derive(Debug, Clone)]
 pub struct SimEnvironment {
@@ -102,7 +118,7 @@ pub struct DiscObjective {
     space: ParamSpace,
     sim: Simulator,
     rng: StdRng,
-    evaluations: u64,
+    evaluations: AtomicU64,
 }
 
 impl DiscObjective {
@@ -114,13 +130,13 @@ impl DiscObjective {
             space: confspace::spark::spark_space(),
             sim: Simulator::with_interference(env.interference),
             rng: StdRng::seed_from_u64(env.seed),
-            evaluations: 0,
+            evaluations: AtomicU64::new(0),
         }
     }
 
     /// Number of evaluations performed so far.
     pub fn evaluations(&self) -> u64 {
-        self.evaluations
+        self.evaluations.load(Ordering::Relaxed)
     }
 
     /// The cluster this objective runs on.
@@ -185,7 +201,7 @@ impl Objective for DiscObjective {
     }
 
     fn evaluate(&mut self, config: &Configuration) -> Observation {
-        self.evaluations += 1;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         observe(
             &self.sim,
             &self.cluster,
@@ -201,6 +217,21 @@ impl Objective for DiscObjective {
     }
 }
 
+impl BatchObjective for DiscObjective {
+    fn evaluate_trial(&self, config: &Configuration, trial_seed: u64) -> Observation {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        observe(
+            &self.sim,
+            &self.cluster,
+            config,
+            config,
+            &self.job,
+            &mut rng,
+        )
+    }
+}
+
 /// Stage-1 objective: tune the cloud layer (instance family/size/node
 /// count) for a fixed job, running with a fixed DISC configuration.
 #[derive(Debug)]
@@ -210,7 +241,7 @@ pub struct CloudObjective {
     space: ParamSpace,
     sim: Simulator,
     rng: StdRng,
-    evaluations: u64,
+    evaluations: AtomicU64,
 }
 
 impl CloudObjective {
@@ -222,13 +253,26 @@ impl CloudObjective {
             space: confspace::cloud::cloud_space(),
             sim: Simulator::with_interference(env.interference),
             rng: StdRng::seed_from_u64(env.seed.wrapping_add(1)),
-            evaluations: 0,
+            evaluations: AtomicU64::new(0),
         }
     }
 
     /// Number of evaluations performed so far.
     pub fn evaluations(&self) -> u64 {
-        self.evaluations
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// The launch-failure observation for an unresolvable cloud config.
+    fn unknown_instance(config: &Configuration) -> Observation {
+        Observation {
+            config: config.clone(),
+            runtime_s: FAILURE_PENALTY_S,
+            cost_usd: 0.0,
+            metrics: None,
+            failure: Some(FailureKind::LaunchFailure {
+                reason: "unknown instance type".to_owned(),
+            }),
+        }
     }
 }
 
@@ -238,20 +282,10 @@ impl Objective for CloudObjective {
     }
 
     fn evaluate(&mut self, config: &Configuration) -> Observation {
-        self.evaluations += 1;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         let cluster = match ClusterSpec::from_config(config) {
             Ok(c) => c,
-            Err(_) => {
-                return Observation {
-                    config: config.clone(),
-                    runtime_s: FAILURE_PENALTY_S,
-                    cost_usd: 0.0,
-                    metrics: None,
-                    failure: Some(FailureKind::LaunchFailure {
-                        reason: "unknown instance type".to_owned(),
-                    }),
-                }
-            }
+            Err(_) => return Self::unknown_instance(config),
         };
         observe(
             &self.sim,
@@ -268,6 +302,25 @@ impl Objective for CloudObjective {
     }
 }
 
+impl BatchObjective for CloudObjective {
+    fn evaluate_trial(&self, config: &Configuration, trial_seed: u64) -> Observation {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let cluster = match ClusterSpec::from_config(config) {
+            Ok(c) => c,
+            Err(_) => return Self::unknown_instance(config),
+        };
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        observe(
+            &self.sim,
+            &cluster,
+            config,
+            &self.disc_config,
+            &self.job,
+            &mut rng,
+        )
+    }
+}
+
 /// Joint objective over cloud **and** DISC parameters at once (§I: the
 /// two layers' optima are interdependent, e.g. vCPUs ↔ executor cores).
 #[derive(Debug)]
@@ -276,7 +329,7 @@ pub struct JointObjective {
     space: ParamSpace,
     sim: Simulator,
     rng: StdRng,
-    evaluations: u64,
+    evaluations: AtomicU64,
 }
 
 impl JointObjective {
@@ -287,13 +340,26 @@ impl JointObjective {
             space: confspace::cloud::joint_space(),
             sim: Simulator::with_interference(env.interference),
             rng: StdRng::seed_from_u64(env.seed.wrapping_add(2)),
-            evaluations: 0,
+            evaluations: AtomicU64::new(0),
         }
     }
 
     /// Number of evaluations performed so far.
     pub fn evaluations(&self) -> u64 {
-        self.evaluations
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// The launch-failure observation for an unresolvable joint config.
+    fn unknown_instance(config: &Configuration) -> Observation {
+        Observation {
+            config: config.clone(),
+            runtime_s: FAILURE_PENALTY_S,
+            cost_usd: 0.0,
+            metrics: None,
+            failure: Some(FailureKind::LaunchFailure {
+                reason: "unknown instance type".to_owned(),
+            }),
+        }
     }
 }
 
@@ -303,20 +369,10 @@ impl Objective for JointObjective {
     }
 
     fn evaluate(&mut self, config: &Configuration) -> Observation {
-        self.evaluations += 1;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         let cluster = match ClusterSpec::from_config(config) {
             Ok(c) => c,
-            Err(_) => {
-                return Observation {
-                    config: config.clone(),
-                    runtime_s: FAILURE_PENALTY_S,
-                    cost_usd: 0.0,
-                    metrics: None,
-                    failure: Some(FailureKind::LaunchFailure {
-                        reason: "unknown instance type".to_owned(),
-                    }),
-                }
-            }
+            Err(_) => return Self::unknown_instance(config),
         };
         observe(
             &self.sim,
@@ -330,6 +386,18 @@ impl Objective for JointObjective {
 
     fn describe(&self) -> String {
         format!("joint cloud+DISC tuning of {}", self.job.name)
+    }
+}
+
+impl BatchObjective for JointObjective {
+    fn evaluate_trial(&self, config: &Configuration, trial_seed: u64) -> Observation {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let cluster = match ClusterSpec::from_config(config) {
+            Ok(c) => c,
+            Err(_) => return Self::unknown_instance(config),
+        };
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        observe(&self.sim, &cluster, config, config, &self.job, &mut rng)
     }
 }
 

@@ -117,10 +117,11 @@ impl RetuneMonitor {
         if self.detector.is_none() {
             self.detector = Some(self.policy.build(obs.runtime_s));
         }
-        let detector = self.detector.as_mut().expect("just initialized");
-        if detector.update(obs.runtime_s) {
-            self.emit_trigger(RetuneReason::RuntimeDrift);
-            return Some(RetuneReason::RuntimeDrift);
+        if let Some(detector) = self.detector.as_mut() {
+            if detector.update(obs.runtime_s) {
+                self.emit_trigger(RetuneReason::RuntimeDrift);
+                return Some(RetuneReason::RuntimeDrift);
+            }
         }
         None
     }

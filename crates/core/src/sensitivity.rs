@@ -73,10 +73,13 @@ const GRID: usize = 9;
 /// Panics when `history` has no successful observation.
 pub fn additive_effects(space: &ParamSpace, history: &[Observation]) -> SensitivityReport {
     let ok: Vec<Observation> = history.iter().filter(|o| o.is_ok()).cloned().collect();
-    assert!(
-        !ok.is_empty(),
-        "sensitivity analysis needs at least one successful run"
-    );
+    let Some(incumbent) = ok
+        .iter()
+        .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+        .cloned()
+    else {
+        panic!("sensitivity analysis needs at least one successful run");
+    };
     let (x, y) = encode_history(space, &ok);
     let gp = GpRegressor::fit_auto(
         &x,
@@ -86,10 +89,6 @@ pub fn additive_effects(space: &ParamSpace, history: &[Observation]) -> Sensitiv
             variance: 1.0,
         },
     );
-    let incumbent = ok
-        .iter()
-        .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
-        .expect("ok is non-empty");
     let base = space.encode(&incumbent.config);
 
     let mut effects: Vec<ParameterEffect> = space

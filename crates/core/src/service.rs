@@ -49,6 +49,13 @@ pub struct ServiceConfig {
     pub retune_policy: RetunePolicy,
     /// Budget for each automatic re-tuning session.
     pub retune_budget: usize,
+    /// Trials proposed and evaluated per round in each tuning stage.
+    /// 1 (the default) reproduces the strictly sequential
+    /// propose→evaluate loop bitwise; larger values amortize one
+    /// surrogate fit across the whole round and let the
+    /// [`crate::executor::TrialExecutor`] evaluate the round
+    /// concurrently.
+    pub batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +68,7 @@ impl Default for ServiceConfig {
             clustered_donors: false,
             retune_policy: RetunePolicy::PageHinkley,
             retune_budget: 10,
+            batch: 1,
         }
     }
 }
@@ -107,17 +115,38 @@ impl ServiceOutcome {
     }
 }
 
+/// One tenant's request for [`SeamlessTuner::tune_many`].
+#[derive(Debug, Clone)]
+pub struct TenantRequest {
+    /// Opaque tenant identifier.
+    pub client: String,
+    /// The tenant's workload label.
+    pub workload: String,
+    /// The job to tune.
+    pub job: JobSpec,
+    /// Per-tenant tuning seed.
+    pub seed: u64,
+}
+
 /// The provider-operated tuning service.
 pub struct SeamlessTuner {
     store: Arc<HistoryStore>,
     env: SimEnvironment,
     config: ServiceConfig,
+    cluster_index: crate::transfer::ClusterIndex,
 }
 
 impl SeamlessTuner {
     /// Creates the service around a shared history store.
     pub fn new(store: Arc<HistoryStore>, env: SimEnvironment, config: ServiceConfig) -> Self {
-        SeamlessTuner { store, env, config }
+        SeamlessTuner {
+            store,
+            env,
+            config,
+            // 3 clusters once a dozen records exist — the same gate the
+            // per-tune snapshot clustering used.
+            cluster_index: crate::transfer::ClusterIndex::new(3, 12),
+        }
     }
 
     /// The provider's conservative "house default" DISC configuration —
@@ -176,7 +205,7 @@ impl SeamlessTuner {
             },
         );
         let mut stage1 = TuningSession::new(self.config.tuner, self.env.seed ^ seed ^ 0xA1);
-        let s1 = stage1.run(&mut cloud_obj, self.config.stage1_budget);
+        let s1 = stage1.run_batched(&mut cloud_obj, self.config.stage1_budget, self.config.batch);
         let cloud_config = s1
             .best_config()
             .cloned()
@@ -192,13 +221,16 @@ impl SeamlessTuner {
         let raw_donations: Vec<Observation> = if self.config.transfer_k == 0 {
             Vec::new()
         } else if self.config.clustered_donors && self.store.len() >= 12 {
-            // AROMA-style: donate from the signature's k-medoids cluster.
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(self.env.seed ^ seed ^ 0xC1);
-            let clusters = crate::transfer::ClusteredHistory::build(&self.store, 3, &mut rng);
-            crate::transfer::records_to_observations(
-                clusters.donors_for(&signature, self.config.transfer_k * 2),
-            )
+            // AROMA-style: donate from the signature's k-medoids
+            // cluster, maintained incrementally across tunes (cursor
+            // reads + periodic rebuild) instead of re-clustering a full
+            // store snapshot per tenant.
+            crate::transfer::records_to_observations(self.cluster_index.donors_for(
+                &self.store,
+                &signature,
+                self.config.transfer_k * 2,
+                self.env.seed ^ seed ^ 0xC1,
+            ))
         } else {
             donated_observations(
                 &self.store,
@@ -243,7 +275,11 @@ impl SeamlessTuner {
         } else {
             TuningSession::new(self.config.tuner, seed ^ 0xB2)
         };
-        let mut s2 = stage2.run(&mut disc_obj, self.config.stage2_budget.saturating_sub(1));
+        let mut s2 = stage2.run_batched(
+            &mut disc_obj,
+            self.config.stage2_budget.saturating_sub(1),
+            self.config.batch,
+        );
         // The provider's house default is always a candidate: the
         // service never deploys a configuration worse than its own
         // baseline (one evaluation charged to the stage-2 budget).
@@ -275,6 +311,26 @@ impl SeamlessTuner {
             used_transfer,
             signature,
         }
+    }
+
+    /// Tunes many tenants concurrently over the shared (sharded)
+    /// history store — the provider-side multi-tenant service of §IV.
+    /// Outcomes are returned in request order. Each tenant's session is
+    /// driven entirely by its own seed, so results match running the
+    /// same requests sequentially whenever tenants do not read each
+    /// other's history mid-flight (`transfer_k == 0`, or disjoint
+    /// signatures).
+    pub fn tune_many(&self, requests: &[TenantRequest]) -> Vec<ServiceOutcome> {
+        let _span = obs::span("tune_many").with("tenants", requests.len());
+        let reg = obs::registry();
+        reg.gauge("service.tenants_inflight")
+            .set(requests.len() as f64);
+        let outcomes = models::par::par_map(requests, |r| {
+            reg.histogram(&format!("service.tenant.{}.tune_s", r.client))
+                .time(|| self.tune(&r.client, &r.workload, &r.job, r.seed))
+        });
+        reg.gauge("service.tenants_inflight").set(0.0);
+        outcomes
     }
 
     fn record(&self, client: &str, workload: &str, obs: &Observation) {

@@ -127,11 +127,9 @@ impl TransferTuner {
                 .map(|o| o.runtime_s)
                 .collect::<Vec<_>>(),
         );
-        let observed_best = ok
-            .iter()
-            .map(|o| o.runtime_s)
-            .min_by(f64::total_cmp)
-            .expect("ok is non-empty");
+        let Some(observed_best) = ok.iter().map(|o| o.runtime_s).min_by(f64::total_cmp) else {
+            return false;
+        };
         // The donation claimed its best region; if the real runs nearest
         // to that region are far slower than the best we've actually
         // seen, the donated surface points the wrong way.
@@ -325,10 +323,24 @@ impl ClusteredHistory {
     ///
     /// Panics when the store holds fewer records than `k`.
     pub fn build(store: &HistoryStore, k: usize, rng: &mut dyn rand::RngCore) -> Self {
-        let records = store.snapshot();
+        Self::build_from_records(store.snapshot(), k, rng)
+    }
+
+    /// Clusters an explicit record set into `k` signature groups (the
+    /// store-free path used by [`ClusterIndex`] when rebuilding from
+    /// cursor-accumulated records).
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer records than `k` are given.
+    pub fn build_from_records(
+        records: Vec<ExecutionRecord>,
+        k: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Self {
         assert!(
             records.len() >= k,
-            "need at least k={k} records, store has {}",
+            "need at least k={k} records, got {}",
             records.len()
         );
         let points: Vec<Vec<f64>> = records
@@ -348,6 +360,26 @@ impl ClusteredHistory {
         ClusteredHistory { medoids, members }
     }
 
+    /// Assigns new records to their nearest existing medoid without
+    /// re-clustering (medoids drift is handled by the caller's periodic
+    /// full rebuild).
+    pub fn absorb(&mut self, fresh: impl IntoIterator<Item = ExecutionRecord>) {
+        for r in fresh {
+            let c = self.assign(&r.signature);
+            self.members[c].push(r);
+        }
+    }
+
+    /// Total records across all clusters.
+    pub fn len_records(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// Consumes the clustering, returning every member record.
+    pub fn into_records(self) -> Vec<ExecutionRecord> {
+        self.members.into_iter().flatten().collect()
+    }
+
     /// Number of clusters.
     pub fn k(&self) -> usize {
         self.medoids.len()
@@ -359,8 +391,7 @@ impl ClusteredHistory {
             .iter()
             .enumerate()
             .min_by(|a, b| sig.distance(a.1).total_cmp(&sig.distance(b.1)))
-            .map(|(i, _)| i)
-            .expect("k >= 1")
+            .map_or(0, |(i, _)| i)
     }
 
     /// The fastest `limit` records from `sig`'s cluster — the donor set
@@ -376,6 +407,105 @@ impl ClusteredHistory {
     /// The records of cluster `c`.
     pub fn cluster_members(&self, c: usize) -> &[ExecutionRecord] {
         &self.members[c]
+    }
+}
+
+/// A shared, incrementally maintained [`ClusteredHistory`] over a
+/// [`HistoryStore`].
+///
+/// The old clustered-donor path re-clustered the *entire* store snapshot
+/// on every tune — O(store) per tenant, the definition of a hot-path
+/// clone. `ClusterIndex` instead reads only records appended since its
+/// last query (via [`HistoryStore::records_since`]), absorbs them into
+/// the existing clusters, and re-clusters from scratch only when the
+/// history has doubled since the last build — amortized O(1) snapshots
+/// per insert.
+#[derive(Debug)]
+pub struct ClusterIndex {
+    k: usize,
+    /// Records required before the first clustering is attempted.
+    min_records: usize,
+    state: parking_lot::Mutex<ClusterIndexState>,
+}
+
+#[derive(Debug, Default)]
+struct ClusterIndexState {
+    clusters: Option<ClusteredHistory>,
+    cursor: crate::history::HistoryCursor,
+    /// Records not yet clustered (pre-build accumulation only).
+    pending: Vec<ExecutionRecord>,
+    /// Store size at the last full rebuild.
+    built_at: usize,
+}
+
+impl ClusterIndex {
+    /// Creates an index that clusters into `k` groups once `min_records`
+    /// records have accumulated.
+    pub fn new(k: usize, min_records: usize) -> Self {
+        ClusterIndex {
+            k: k.max(1),
+            min_records: min_records.max(k),
+            state: parking_lot::Mutex::new(ClusterIndexState::default()),
+        }
+    }
+
+    /// Donor records for `sig`, fastest first, absorbing any records
+    /// appended to `store` since the last call. Falls back to flat
+    /// nearest-neighbour search while the history is too small to
+    /// cluster. `seed` drives the (deterministic) k-medoids restarts
+    /// when a rebuild is due.
+    pub fn donors_for(
+        &self,
+        store: &HistoryStore,
+        sig: &WorkloadSignature,
+        limit: usize,
+        seed: u64,
+    ) -> Vec<ExecutionRecord> {
+        use rand::SeedableRng;
+        let reg = obs::registry();
+        let st = &mut *self.state.lock();
+        st.pending.extend(store.records_since(&mut st.cursor));
+
+        let total = st
+            .clusters
+            .as_ref()
+            .map_or(0, ClusteredHistory::len_records)
+            + st.pending.len();
+        let rebuild_due = match &st.clusters {
+            None => total >= self.min_records,
+            // Absorbed growth has doubled the clustered set: medoids
+            // are stale, re-cluster from scratch.
+            Some(_) => total >= 2 * st.built_at.max(1),
+        };
+        if rebuild_due && total >= self.k {
+            let mut all: Vec<ExecutionRecord> = match st.clusters.take() {
+                Some(c) => c.into_records(),
+                None => Vec::new(),
+            };
+            all.append(&mut st.pending);
+            all.sort_by_key(|r| r.seq);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            st.built_at = all.len();
+            st.clusters = Some(ClusteredHistory::build_from_records(all, self.k, &mut rng));
+            reg.counter("transfer.cluster_rebuilds").inc();
+        } else if let Some(clusters) = st.clusters.as_mut() {
+            if !st.pending.is_empty() {
+                reg.counter("transfer.cluster_absorbed")
+                    .add(st.pending.len() as u64);
+                clusters.absorb(std::mem::take(&mut st.pending));
+            }
+        }
+
+        match &st.clusters {
+            Some(clusters) => clusters.donors_for(sig, limit),
+            // Too little history to cluster: flat similarity search.
+            None => store.most_similar(sig, limit, None),
+        }
+    }
+
+    /// Whether a clustering has been built yet.
+    pub fn is_built(&self) -> bool {
+        self.state.lock().clusters.is_some()
     }
 }
 

@@ -50,6 +50,16 @@ impl Tuner for AdditiveBayesOpt {
         self.inner.propose(space, history, rng)
     }
 
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        self.inner.propose_batch(space, history, q, rng)
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
     }

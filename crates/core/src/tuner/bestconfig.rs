@@ -119,15 +119,12 @@ impl Tuner for BestConfig {
                 .map(|o| o.runtime_s)
                 .unwrap_or(f64::INFINITY);
             if history.len() > self.round_start {
-                if best_now < self.best_at_round_start {
-                    let center = space.encode(
-                        &best_observation(history)
-                            .expect("improvement implies a success")
-                            .config,
-                    );
-                    self.contract_around(&center);
-                } else {
-                    self.diverge();
+                match best_observation(history) {
+                    Some(best) if best_now < self.best_at_round_start => {
+                        let center = space.encode(&best.config);
+                        self.contract_around(&center);
+                    }
+                    _ => self.diverge(),
                 }
             }
             self.round_start = history.len();
@@ -135,12 +132,35 @@ impl Tuner for BestConfig {
             self.pending = self.sample_round(space, rng);
         }
 
-        let cand = self.pending.pop().expect("round batch is non-empty");
+        // `k > 0` means the round is never empty, but an exhausted
+        // round must not abort a multi-tenant service: fall back to the
+        // space defaults.
+        let cand = self
+            .pending
+            .pop()
+            .unwrap_or_else(|| space.default_configuration());
         if space.validate(&cand).is_ok() {
             cand
         } else {
             space.clamp(&cand)
         }
+    }
+
+    /// Native batch: the divide-and-diverge round *is* the batch —
+    /// draining `q` proposals against the same (real) history pops the
+    /// current stratified round, re-deciding bound/diverge only at
+    /// round boundaries. No constant-liar augmentation, which would
+    /// feed fake improvements into the contraction logic.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        (0..q.max(1))
+            .map(|_| self.propose(space, history, rng))
+            .collect()
     }
 
     fn reset(&mut self) {

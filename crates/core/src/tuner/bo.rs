@@ -19,6 +19,10 @@ const MAX_GP_POINTS: usize = 120;
 /// enough to amortize scratch-buffer reuse and thread hand-off.
 const EI_CHUNK: usize = 64;
 
+/// Squared bandwidth of the local EI penalty used by batch proposals
+/// (h = 0.2 in the unit-normalized encoded space).
+const PENALTY_BANDWIDTH_SQ: f64 = 0.04;
+
 /// GP Bayesian optimization with EI acquisition.
 #[derive(Debug, Clone)]
 pub struct BayesOpt {
@@ -65,6 +69,61 @@ impl BayesOpt {
             pending_init: Vec::new(),
             fit_cache: GpFitCache::new(),
         }
+    }
+
+    /// Fits the GP surrogate on the (subsampled) history, with the
+    /// obs wiring shared by [`Tuner::propose`] and
+    /// [`Tuner::propose_batch`].
+    fn fit_surrogate(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+    ) -> models::GpRegressor {
+        let kept = self.subsample(history);
+        let owned: Vec<Observation> = kept.into_iter().cloned().collect();
+        let (x, y) = encode_history(space, &owned);
+        let reg = obs::registry();
+        reg.gauge("par.threads")
+            .set(models::par::num_threads() as f64);
+        let _fit = obs::span("surrogate_fit").with("points", y.len());
+        let start = std::time::Instant::now();
+        let (gp, kind) = if self.use_fit_cache {
+            self.fit_cache.fit_auto(&x, &y, self.kernel)
+        } else {
+            self.fit_cache.clear();
+            self.fit_cache.fit_auto(&x, &y, self.kernel)
+        };
+        let secs = start.elapsed().as_secs_f64();
+        reg.histogram("bo.surrogate_fit_s").record_secs(secs);
+        match kind {
+            FitKind::Incremental => {
+                reg.counter("bo.fit_cache.hit").inc();
+                reg.histogram("bo.surrogate_fit_incremental_s")
+                    .record_secs(secs);
+            }
+            FitKind::Full => {
+                reg.counter("bo.fit_cache.miss").inc();
+                reg.histogram("bo.surrogate_fit_full_s").record_secs(secs);
+            }
+        }
+        gp
+    }
+
+    /// The candidate pool for one acquisition round: global uniform
+    /// samples plus local refinements around the incumbent.
+    fn candidate_pool(
+        &self,
+        space: &ParamSpace,
+        history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        let mut cands = UniformSampler.sample_n(space, self.candidates, rng);
+        if let Some(best) = best_observation(history) {
+            for _ in 0..self.local_candidates {
+                cands.push(neighbor(space, &best.config, 0.05, 0.4, rng));
+            }
+        }
+        cands
     }
 
     fn subsample<'a>(&self, history: &'a [Observation]) -> Vec<&'a Observation> {
@@ -117,48 +176,14 @@ impl Tuner for BayesOpt {
             }
         }
 
-        let kept = self.subsample(history);
-        let owned: Vec<Observation> = kept.into_iter().cloned().collect();
-        let (x, y) = encode_history(space, &owned);
+        let gp = self.fit_surrogate(space, history);
         let reg = obs::registry();
-        reg.gauge("par.threads")
-            .set(models::par::num_threads() as f64);
-        let gp = {
-            let _fit = obs::span("surrogate_fit").with("points", y.len());
-            let start = std::time::Instant::now();
-            let (gp, kind) = if self.use_fit_cache {
-                self.fit_cache.fit_auto(&x, &y, self.kernel)
-            } else {
-                self.fit_cache.clear();
-                self.fit_cache.fit_auto(&x, &y, self.kernel)
-            };
-            let secs = start.elapsed().as_secs_f64();
-            reg.histogram("bo.surrogate_fit_s").record_secs(secs);
-            match kind {
-                FitKind::Incremental => {
-                    reg.counter("bo.fit_cache.hit").inc();
-                    reg.histogram("bo.surrogate_fit_incremental_s")
-                        .record_secs(secs);
-                }
-                FitKind::Full => {
-                    reg.counter("bo.fit_cache.miss").inc();
-                    reg.histogram("bo.surrogate_fit_full_s").record_secs(secs);
-                }
-            }
-            gp
-        };
 
         let best_ln = best_observation(history)
             .map(|o| o.runtime_s.max(1e-3).ln())
             .unwrap_or(f64::INFINITY);
 
-        // Candidate pool: global random + local refinements.
-        let mut cands = UniformSampler.sample_n(space, self.candidates, rng);
-        if let Some(best) = best_observation(history) {
-            for _ in 0..self.local_candidates {
-                cands.push(neighbor(space, &best.config, 0.05, 0.4, rng));
-            }
-        }
+        let mut cands = self.candidate_pool(space, history, rng);
 
         let _acq = obs::span("acquisition").with("candidates", cands.len());
         reg.histogram("bo.acquisition_s").time(|| {
@@ -180,6 +205,75 @@ impl Tuner for BayesOpt {
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(i, _)| cands.swap_remove(i))
                 .unwrap_or_else(|| UniformSampler.sample(space, rng))
+        })
+    }
+
+    /// Native q-EI via local penalization (González et al.): one GP
+    /// fit and one acquisition scan yield the whole batch — EI around
+    /// each chosen point is damped so the batch spreads out instead of
+    /// clustering on the same optimum.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        if q <= 1 {
+            return vec![self.propose(space, history, rng)];
+        }
+        // Warm-up rounds drain the stratified init design directly.
+        if history.len() < self.init_samples {
+            return (0..q).map(|_| self.propose(space, history, rng)).collect();
+        }
+
+        let gp = self.fit_surrogate(space, history);
+        let reg = obs::registry();
+        let best_ln = best_observation(history)
+            .map(|o| o.runtime_s.max(1e-3).ln())
+            .unwrap_or(f64::INFINITY);
+        let cands = self.candidate_pool(space, history, rng);
+
+        let _acq = obs::span("acquisition")
+            .with("candidates", cands.len())
+            .with("q", q);
+        reg.histogram("bo.acquisition_s").time(|| {
+            let encoded: Vec<Vec<f64>> = cands.iter().map(|c| space.encode(c)).collect();
+            let mut scores = models::par::par_chunks(&encoded, EI_CHUNK, |chunk| {
+                gp.predict_batch(chunk)
+                    .into_iter()
+                    .map(|(m, s)| expected_improvement(m, s, best_ln))
+                    .collect()
+            });
+            let mut taken = vec![false; scores.len()];
+            let mut out: Vec<Configuration> = Vec::with_capacity(q);
+            for _ in 0..q.min(scores.len()) {
+                let Some(i) = (0..scores.len())
+                    .filter(|&i| !taken[i])
+                    .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+                else {
+                    break;
+                };
+                taken[i] = true;
+                out.push(cands[i].clone());
+                for j in 0..scores.len() {
+                    if taken[j] {
+                        continue;
+                    }
+                    let d2: f64 = encoded[i]
+                        .iter()
+                        .zip(&encoded[j])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    scores[j] *= 1.0 - (-d2 / (2.0 * PENALTY_BANDWIDTH_SQ)).exp();
+                }
+            }
+            // Degenerate pools (q > candidates) top up with uniform
+            // exploration rather than duplicating picks.
+            while out.len() < q {
+                out.push(UniformSampler.sample(space, rng));
+            }
+            out
         })
     }
 

@@ -41,6 +41,56 @@ impl Genetic {
             pending_init: Vec::new(),
         }
     }
+
+    /// Fits the forest surrogate and runs one full GA, returning the
+    /// final population sorted by predicted runtime (best first).
+    fn evolve(
+        &self,
+        space: &ParamSpace,
+        history: &[Observation],
+        rng: &mut dyn RngCore,
+    ) -> Vec<(f64, Configuration)> {
+        let mut ranked: Vec<&Observation> = history.iter().filter(|o| o.is_ok()).collect();
+        ranked.sort_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s));
+
+        // Fit the surrogate on everything observed so far.
+        let (x, y) = encode_history(space, history);
+        let forest = RandomForest::fit(&x, &y, ForestParams::default(), rng);
+        let score = |c: &Configuration| forest.predict(&space.encode(c));
+
+        // Seed the population with the best observed configs + randoms.
+        let mut pop: Vec<Configuration> = ranked
+            .iter()
+            .take(self.population / 4)
+            .map(|o| o.config.clone())
+            .collect();
+        while pop.len() < self.population {
+            pop.push(LatinHypercube.sample(space, rng));
+        }
+
+        for _ in 0..self.generations {
+            let mut scored: Vec<(f64, Configuration)> =
+                pop.into_iter().map(|c| (score(&c), c)).collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let elite = self.population / 4;
+            let mut next: Vec<Configuration> =
+                scored.iter().take(elite).map(|s| s.1.clone()).collect();
+            while next.len() < self.population {
+                // Tournament selection from the top half.
+                let half = (self.population / 2).max(2);
+                let a = &scored[rng.gen_range(0..half.min(scored.len()))].1;
+                let b = &scored[rng.gen_range(0..half.min(scored.len()))].1;
+                let child = crossover(space, a, b, rng);
+                next.push(mutate(space, &child, self.mutation_rate, rng));
+            }
+            pop = next;
+        }
+
+        let mut final_scored: Vec<(f64, Configuration)> =
+            pop.into_iter().map(|c| (score(&c), c)).collect();
+        final_scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        final_scored
+    }
 }
 
 impl Tuner for Genetic {
@@ -89,43 +139,8 @@ impl Tuner for Genetic {
             }
         }
 
-        // Fit the surrogate on everything observed so far.
-        let (x, y) = encode_history(space, history);
-        let forest = RandomForest::fit(&x, &y, ForestParams::default(), rng);
-        let score = |c: &Configuration| forest.predict(&space.encode(c));
-
-        // Seed the population with the best observed configs + randoms.
-        let mut pop: Vec<Configuration> = ranked
-            .iter()
-            .take(self.population / 4)
-            .map(|o| o.config.clone())
-            .collect();
-        while pop.len() < self.population {
-            pop.push(LatinHypercube.sample(space, rng));
-        }
-
-        for _ in 0..self.generations {
-            let mut scored: Vec<(f64, Configuration)> =
-                pop.into_iter().map(|c| (score(&c), c)).collect();
-            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let elite = self.population / 4;
-            let mut next: Vec<Configuration> =
-                scored.iter().take(elite).map(|s| s.1.clone()).collect();
-            while next.len() < self.population {
-                // Tournament selection from the top half.
-                let half = (self.population / 2).max(2);
-                let a = &scored[rng.gen_range(0..half.min(scored.len()))].1;
-                let b = &scored[rng.gen_range(0..half.min(scored.len()))].1;
-                let child = crossover(space, a, b, rng);
-                next.push(mutate(space, &child, self.mutation_rate, rng));
-            }
-            pop = next;
-        }
-
         // Return the surrogate-best individual not evaluated yet.
-        let mut final_scored: Vec<(f64, Configuration)> =
-            pop.into_iter().map(|c| (score(&c), c)).collect();
-        final_scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let final_scored = self.evolve(space, history, rng);
         for (_, c) in &final_scored {
             if !history.iter().any(|o| &o.config == c) {
                 return c.clone();
@@ -136,6 +151,40 @@ impl Tuner for Genetic {
             .next()
             .map(|(_, c)| c)
             .unwrap_or_else(|| space.default_configuration())
+    }
+
+    /// Native batch: one GA run supplies the whole generation — the
+    /// top-`q` distinct, not-yet-evaluated individuals of the final
+    /// population, topped up with stratified samples when the
+    /// population cannot fill the batch.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        if q <= 1 {
+            return vec![self.propose(space, history, rng)];
+        }
+        if history.len() < self.init_samples {
+            return (0..q).map(|_| self.propose(space, history, rng)).collect();
+        }
+        let final_scored = self.evolve(space, history, rng);
+        let mut out: Vec<Configuration> = Vec::with_capacity(q);
+        for (_, c) in &final_scored {
+            if out.len() >= q {
+                break;
+            }
+            if history.iter().any(|o| &o.config == c) || out.contains(c) {
+                continue;
+            }
+            out.push(c.clone());
+        }
+        while out.len() < q {
+            out.push(LatinHypercube.sample(space, rng));
+        }
+        out
     }
 
     fn reset(&mut self) {

@@ -85,6 +85,36 @@ impl Tuner for HillClimb {
         neighbor(space, &best.config, self.scale, 0.4, rng)
     }
 
+    /// Native batch: parallel restarts around the incumbent. The first
+    /// member runs the normal stall/anneal bookkeeping (exactly one
+    /// update per observed history, as in the sequential loop); the
+    /// rest fan out at progressively coarser step scales, with every
+    /// fourth member a uniform restart.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        if q <= 1 {
+            return vec![self.propose(space, history, rng)];
+        }
+        let mut out = Vec::with_capacity(q);
+        out.push(self.propose(space, history, rng));
+        let incumbent = best_observation(history).map(|o| o.config.clone());
+        for i in 1..q {
+            match &incumbent {
+                Some(best) if i % 4 != 3 => {
+                    let scale = (self.scale * (1.0 + i as f64 * 0.5)).min(0.5);
+                    out.push(neighbor(space, best, scale, 0.4, rng));
+                }
+                _ => out.push(UniformSampler.sample(space, rng)),
+            }
+        }
+        out
+    }
+
     fn reset(&mut self) {
         *self = HillClimb::new();
     }

@@ -44,7 +44,26 @@ impl Tuner for LhsSearch {
         if self.pending.is_empty() {
             self.pending = LatinHypercube.sample_n(space, self.batch, rng);
         }
-        self.pending.pop().expect("batch is non-empty")
+        // `batch > 0` means the refill is never empty, but a misuse
+        // must not abort a multi-tenant run.
+        self.pending
+            .pop()
+            .unwrap_or_else(|| LatinHypercube.sample(space, rng))
+    }
+
+    /// Native batch: drains the pending stratified design (refilling at
+    /// block boundaries), so a batch keeps the per-dimension coverage
+    /// guarantee of its enclosing LHS block.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        (0..q.max(1))
+            .map(|_| self.propose(space, history, rng))
+            .collect()
     }
 
     fn reset(&mut self) {

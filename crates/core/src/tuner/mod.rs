@@ -34,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::objective::{Objective, Observation};
+use crate::objective::{BatchObjective, Objective, Observation};
 
 pub use additive_bo::AdditiveBayesOpt;
 pub use bestconfig::BestConfig;
@@ -65,8 +65,62 @@ pub trait Tuner {
         rng: &mut dyn RngCore,
     ) -> Configuration;
 
+    /// Proposes `q` configurations to evaluate concurrently.
+    ///
+    /// With `q == 1` every implementation (including every override)
+    /// must emit exactly what [`Tuner::propose`] would — batch size 1
+    /// is the sequential loop, bit for bit. The default implementation
+    /// for `q > 1` is the *constant liar*: each proposal is committed
+    /// to the visible history as a fake observation at the incumbent
+    /// runtime, so model-based strategies spread the batch instead of
+    /// proposing the same point `q` times. Strategies with a natural
+    /// batch (stratified designs, GA generations, q-EI) override this.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        if q <= 1 {
+            return vec![self.propose(space, history, rng)];
+        }
+        let lie = constant_lie_runtime(history);
+        let mut augmented = history.to_vec();
+        let mut batch = Vec::with_capacity(q);
+        for _ in 0..q {
+            let cfg = self.propose(space, &augmented, rng);
+            augmented.push(Observation {
+                config: cfg.clone(),
+                runtime_s: lie,
+                cost_usd: 0.0,
+                metrics: None,
+                failure: None,
+            });
+            batch.push(cfg);
+        }
+        batch
+    }
+
     /// Clears internal state for a fresh session.
     fn reset(&mut self) {}
+}
+
+/// The runtime a constant-liar batch pretends its pending trials
+/// observed: the incumbent's runtime (CL-min) when one exists, else the
+/// mean of successful runs, else a neutral 1s placeholder (harmless —
+/// with no history every strategy is still in its warm-up design).
+pub fn constant_lie_runtime(history: &[Observation]) -> f64 {
+    if let Some(best) = best_observation(history) {
+        return best.runtime_s;
+    }
+    if history.is_empty() {
+        1.0
+    } else {
+        // Every run so far failed: lie at the (penalty) mean so the
+        // surrogate keeps steering away from the batch's region.
+        history.iter().map(|o| o.runtime_s).sum::<f64>() / history.len() as f64
+    }
 }
 
 /// The catalog of built-in strategies (factory enum).
@@ -238,6 +292,7 @@ pub fn encode_history(space: &ParamSpace, history: &[Observation]) -> (Vec<Vec<f
 pub struct TuningSession {
     tuner: Box<dyn Tuner>,
     rng: StdRng,
+    seed: u64,
     warm: Vec<Observation>,
 }
 
@@ -247,6 +302,7 @@ impl TuningSession {
         TuningSession {
             tuner: kind.build(),
             rng: StdRng::seed_from_u64(seed),
+            seed,
             warm: Vec::new(),
         }
     }
@@ -256,6 +312,7 @@ impl TuningSession {
         TuningSession {
             tuner,
             rng: StdRng::seed_from_u64(seed),
+            seed,
             warm: Vec::new(),
         }
     }
@@ -298,6 +355,69 @@ impl TuningSession {
             proposal.record("runtime_s", observed.runtime_s);
             proposal.record("ok", observed.is_ok());
             history.push(observed);
+        }
+        let best = best_observation(&history).cloned();
+        if let Some(b) = &best {
+            obs::instant(
+                "session_best",
+                obs::fields![("tuner", self.tuner.name()), ("runtime_s", b.runtime_s)],
+            );
+        }
+        TuningOutcome { history, best }
+    }
+
+    /// Runs `budget` evaluations against `objective`, proposing and
+    /// evaluating `batch` trials at a time on a [`TrialExecutor`].
+    ///
+    /// `batch == 1` takes the exact sequential [`TuningSession::run`]
+    /// code path — same proposals, same observations, bit for bit. For
+    /// larger batches, proposals come from [`Tuner::propose_batch`] and
+    /// evaluations fan out over the executor's worker pool with
+    /// deterministic per-trial seeding, so neither the batch size nor
+    /// the thread count changes what any individual trial observes.
+    ///
+    /// [`TrialExecutor`]: crate::executor::TrialExecutor
+    pub fn run_batched<O: BatchObjective>(
+        &mut self,
+        objective: &mut O,
+        budget: usize,
+        batch: usize,
+    ) -> TuningOutcome {
+        if batch <= 1 {
+            return self.run(objective, budget);
+        }
+        let _session = obs::span("tuning_session")
+            .with("tuner", self.tuner.name())
+            .with("budget", budget)
+            .with("batch", batch);
+        let reg = obs::registry();
+        let mut executor = crate::executor::TrialExecutor::new(self.seed ^ 0xE0E0_7A17);
+        let mut history: Vec<Observation> = Vec::with_capacity(budget);
+        while history.len() < budget {
+            let q = batch.min(budget - history.len());
+            let mut round = obs::span("proposal_batch")
+                .with("idx", history.len())
+                .with("q", q);
+            let visible: Vec<Observation> =
+                self.warm.iter().chain(history.iter()).cloned().collect();
+            let cfgs = {
+                let _propose = obs::span("propose_batch");
+                reg.histogram("tuner.propose_batch_s").time(|| {
+                    self.tuner
+                        .propose_batch(objective.space(), &visible, q, &mut self.rng)
+                })
+            };
+            if cfgs.is_empty() {
+                break; // defensive: a strategy with nothing left to propose
+            }
+            let observed = executor.run_batch(&*objective, &cfgs);
+            reg.counter("tuner.evaluations").add(observed.len() as u64);
+            let failed = observed.iter().filter(|o| !o.is_ok()).count();
+            if failed > 0 {
+                reg.counter("tuner.failed_evaluations").add(failed as u64);
+            }
+            round.record("ok", (observed.len() - failed) as f64);
+            history.extend(observed);
         }
         let best = best_observation(&history).cloned();
         if let Some(b) = &best {

@@ -2,7 +2,7 @@
 //! Table I experiment ("we ran the workload using 100 random
 //! configurations to find the best configuration").
 
-use confspace::{Configuration, ParamSpace, Sampler, UniformSampler};
+use confspace::{Configuration, LatinHypercube, ParamSpace, Sampler, UniformSampler};
 use rand::RngCore;
 
 use crate::objective::Observation;
@@ -24,6 +24,22 @@ impl Tuner for RandomSearch {
         rng: &mut dyn RngCore,
     ) -> Configuration {
         UniformSampler.sample(space, rng)
+    }
+
+    /// Native batch: one stratified block per round — a batch of
+    /// i.i.d. draws wastes budget on clustered samples, an LHS block of
+    /// the same size guarantees per-dimension coverage for free.
+    fn propose_batch(
+        &mut self,
+        space: &ParamSpace,
+        history: &[Observation],
+        q: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Configuration> {
+        if q <= 1 {
+            return vec![self.propose(space, history, rng)];
+        }
+        LatinHypercube.sample_n(space, q, rng)
     }
 }
 

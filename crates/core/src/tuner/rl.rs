@@ -161,8 +161,7 @@ impl Tuner for RlTuner {
                 .iter()
                 .enumerate()
                 .max_by(|x, y| x.1.total_cmp(y.1))
-                .map(|(i, _)| i)
-                .expect("actions built")
+                .map_or(0, |(i, _)| i)
         };
         self.last_action = Some(a);
         self.apply(space, &current, self.actions[a])

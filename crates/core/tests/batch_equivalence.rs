@@ -1,0 +1,231 @@
+//! The batch-execution equivalence contract: batch size 1 must
+//! reproduce the strictly sequential propose→evaluate loop *bitwise*,
+//! for every strategy — batching is a performance feature, never a
+//! behavioural one. Larger batches must stay valid and deterministic,
+//! and the multi-tenant `tune_many` must match sequential `tune` calls
+//! whenever tenants cannot observe each other (transfer disabled).
+
+use std::sync::Arc;
+
+use confspace::{Configuration, ParamDef, ParamSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seamless_core::objective::{DiscObjective, SimEnvironment};
+use seamless_core::service::TenantRequest;
+use seamless_core::tuner::{TunerKind, TuningSession};
+use seamless_core::{HistoryStore, Observation, SeamlessTuner, ServiceConfig};
+use simcluster::ClusterSpec;
+use workloads::{DataScale, Wordcount, Workload};
+
+fn synth_space() -> ParamSpace {
+    ParamSpace::new()
+        .with(ParamDef::int("a", 0, 100, 50, ""))
+        .with(ParamDef::int("b", 0, 100, 50, ""))
+}
+
+fn synth_eval(cfg: &Configuration) -> f64 {
+    let a = cfg.int("a") as f64;
+    let b = cfg.int("b") as f64;
+    10.0 + ((a - 70.0) / 10.0).powi(2) + ((b - 30.0) / 10.0).powi(2)
+}
+
+fn push(history: &mut Vec<Observation>, cfg: Configuration) {
+    history.push(Observation {
+        runtime_s: synth_eval(&cfg),
+        config: cfg,
+        cost_usd: 0.0,
+        metrics: None,
+        failure: None,
+    });
+}
+
+#[test]
+fn propose_batch_q1_matches_propose_for_every_tuner() {
+    let space = synth_space();
+    for kind in TunerKind::all() {
+        let mut seq_tuner = kind.build();
+        let mut batch_tuner = kind.build();
+        let mut seq_rng = StdRng::seed_from_u64(17);
+        let mut batch_rng = StdRng::seed_from_u64(17);
+        let mut seq_hist = Vec::new();
+        let mut batch_hist = Vec::new();
+        for i in 0..20 {
+            let a = seq_tuner.propose(&space, &seq_hist, &mut seq_rng);
+            let batch = batch_tuner.propose_batch(&space, &batch_hist, 1, &mut batch_rng);
+            assert_eq!(batch.len(), 1, "{}: q=1 batch length", kind.label());
+            assert_eq!(
+                a,
+                batch[0],
+                "{}: proposal {i} diverges at q=1",
+                kind.label()
+            );
+            push(&mut seq_hist, a);
+            push(&mut batch_hist, batch[0].clone());
+        }
+    }
+}
+
+#[test]
+fn propose_batch_q4_is_valid_and_deterministic() {
+    let space = synth_space();
+    for kind in TunerKind::all() {
+        let run = || {
+            let mut tuner = kind.build();
+            let mut rng = StdRng::seed_from_u64(23);
+            let mut history = Vec::new();
+            let mut all = Vec::new();
+            for _ in 0..4 {
+                let batch = tuner.propose_batch(&space, &history, 4, &mut rng);
+                assert_eq!(batch.len(), 4, "{}: q=4 batch length", kind.label());
+                for cfg in &batch {
+                    assert!(
+                        space.validate(cfg).is_ok(),
+                        "{}: invalid batch proposal {cfg}",
+                        kind.label()
+                    );
+                }
+                for cfg in batch {
+                    all.push(cfg.clone());
+                    push(&mut history, cfg);
+                }
+            }
+            all
+        };
+        assert_eq!(run(), run(), "{}: q=4 not deterministic", kind.label());
+    }
+}
+
+fn disc_objective(seed: u64) -> DiscObjective {
+    DiscObjective::new(
+        ClusterSpec::table1_testbed(),
+        Wordcount::new().job(DataScale::Tiny),
+        &SimEnvironment::dedicated(seed),
+    )
+}
+
+#[test]
+fn run_batched_at_batch_1_is_bitwise_identical_to_run() {
+    for kind in TunerKind::all() {
+        let mut seq_session = TuningSession::new(kind, 31);
+        let mut seq_obj = disc_objective(7);
+        let seq = seq_session.run(&mut seq_obj, 6);
+
+        let mut batch_session = TuningSession::new(kind, 31);
+        let mut batch_obj = disc_objective(7);
+        let bat = batch_session.run_batched(&mut batch_obj, 6, 1);
+
+        assert_eq!(
+            seq.history.len(),
+            bat.history.len(),
+            "{}: history length",
+            kind.label()
+        );
+        for (i, (a, b)) in seq.history.iter().zip(&bat.history).enumerate() {
+            assert_eq!(a.config, b.config, "{}: config {i}", kind.label());
+            assert_eq!(
+                a.runtime_s.to_bits(),
+                b.runtime_s.to_bits(),
+                "{}: runtime {i} not bitwise equal",
+                kind.label()
+            );
+            assert_eq!(
+                a.cost_usd.to_bits(),
+                b.cost_usd.to_bits(),
+                "{}: cost {i} not bitwise equal",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn run_batched_larger_batches_are_deterministic_and_fill_the_budget() {
+    for batch in [2usize, 4, 8] {
+        let run = || {
+            let mut session = TuningSession::new(TunerKind::BayesOpt, 43);
+            let mut obj = disc_objective(11);
+            session.run_batched(&mut obj, 12, batch)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.history.len(), 12, "batch {batch}: budget not honoured");
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.config, y.config, "batch {batch}: configs diverge");
+            assert_eq!(
+                x.runtime_s.to_bits(),
+                y.runtime_s.to_bits(),
+                "batch {batch}: runtimes diverge"
+            );
+        }
+        assert!(a.best.is_some(), "batch {batch}: no best found");
+    }
+}
+
+#[test]
+fn tune_many_matches_sequential_tunes_when_tenants_are_isolated() {
+    // With transfer disabled the store is write-only during tuning, so
+    // concurrent tenants cannot influence each other: tune_many must
+    // produce exactly the outcomes of sequential tune calls.
+    let config = ServiceConfig {
+        stage1_budget: 3,
+        stage2_budget: 4,
+        transfer_k: 0,
+        ..ServiceConfig::default()
+    };
+    let requests: Vec<TenantRequest> = (0..4)
+        .map(|i| TenantRequest {
+            client: format!("tenant-{i}"),
+            workload: "wc".to_owned(),
+            job: Wordcount::new().job(DataScale::Tiny),
+            seed: 100 + i as u64,
+        })
+        .collect();
+
+    let seq_svc = SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::dedicated(3),
+        config,
+    );
+    let seq: Vec<_> = requests
+        .iter()
+        .map(|r| seq_svc.tune(&r.client, &r.workload, &r.job, r.seed))
+        .collect();
+
+    let par_svc = SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::dedicated(3),
+        config,
+    );
+    let par = par_svc.tune_many(&requests);
+
+    assert_eq!(seq.len(), par.len());
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(s.cloud_config, p.cloud_config, "tenant {i}: cloud config");
+        assert_eq!(s.disc_config, p.disc_config, "tenant {i}: disc config");
+        assert_eq!(
+            s.best_runtime_s.to_bits(),
+            p.best_runtime_s.to_bits(),
+            "tenant {i}: best runtime not bitwise equal"
+        );
+    }
+    // Both services witnessed the same number of executions.
+    assert_eq!(seq_svc.store().len(), par_svc.store().len());
+}
+
+#[test]
+fn batched_service_tuning_still_finds_a_working_config() {
+    let svc = SeamlessTuner::new(
+        Arc::new(HistoryStore::new()),
+        SimEnvironment::dedicated(19),
+        ServiceConfig {
+            stage1_budget: 4,
+            stage2_budget: 8,
+            batch: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let out = svc.tune("batched", "wc", &Wordcount::new().job(DataScale::Tiny), 2);
+    assert!(out.best_runtime_s.is_finite() && out.best_runtime_s > 0.0);
+    assert_eq!(out.stage1.history.len(), 4);
+    assert_eq!(out.stage2.history.len(), 8);
+}

@@ -18,6 +18,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Re-run the concurrency suites with an explicit worker count: the
+# batched executor and sharded history store must behave identically
+# whatever SEAMLESS_THREADS says.
+echo "==> SEAMLESS_THREADS=2 cargo test -q -p seamless-core --test batch_equivalence --test history_stress"
+SEAMLESS_THREADS=2 cargo test -q -p seamless-core --test batch_equivalence --test history_stress
+
 echo "==> cargo build -q -p bench --bins --benches"
 cargo build -q -p bench --bins --benches
 

@@ -9,6 +9,7 @@
 //!   --scale <tiny|small|ds1|ds2|ds3|<MB>>   (default small)
 //!   --tuner <name>        (default bayesopt)
 //!   --budget <n>          (default 20)
+//!   --batch <n>           trials proposed+evaluated per round (default 1)
 //!   --seed <n>            (default 42)
 //!   --cluster <family.size:nodes>   (default h1.4xlarge:4)
 //!   --goal <min-runtime|min-cost|deadline:<s>>  (default min-runtime)
@@ -148,6 +149,11 @@ fn tune(args: &[String]) -> ExitCode {
         let budget: usize = get("budget", "20")
             .parse()
             .map_err(|_| "bad --budget".to_owned())?;
+        let batch: usize = get("batch", "1")
+            .parse()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| "bad --batch (must be >= 1)".to_owned())?;
         let seed: u64 = get("seed", "42")
             .parse()
             .map_err(|_| "bad --seed".to_owned())?;
@@ -167,7 +173,9 @@ fn tune(args: &[String]) -> ExitCode {
         let inner = DiscObjective::new(cluster, job, &SimEnvironment::dedicated(seed));
         let mut objective = GoalObjective::new(inner, goal);
         let mut session = TuningSession::new(tuner, seed ^ 0x5EED);
-        let outcome = session.run(&mut objective, budget);
+        // batch == 1 is the sequential loop; larger batches propose and
+        // evaluate whole rounds at once.
+        let outcome = session.run_batched(&mut objective, budget, batch);
 
         match &outcome.best {
             None => println!("no configuration survived — every execution crashed"),
