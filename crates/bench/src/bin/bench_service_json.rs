@@ -18,6 +18,10 @@
 //!   (batch 1, transfer off), `tune_many` must reproduce the eight
 //!   sequential outcomes exactly; the bench re-checks what the test
 //!   suite pins, on the bench workload.
+//! * `resilience` — the same single-tenant tune through the resilient
+//!   executor with a 5% injected trial-error rate vs the no-fault
+//!   resilient path: wall-clock overhead plus the retry/failure
+//!   counters the obs registry accumulated during the faulty run.
 //!
 //! Run with: `cargo run --release -p bench --bin bench_service_json`
 
@@ -26,7 +30,8 @@ use std::time::Instant;
 
 use seamless_core::objective::SimEnvironment;
 use seamless_core::{
-    HistoryStore, SeamlessTuner, ServiceConfig, ServiceOutcome, TenantRequest, TunerKind,
+    FaultInjector, FaultPlan, HistoryStore, RetryPolicy, SeamlessTuner, ServiceConfig,
+    ServiceOutcome, TenantRequest, TunerKind,
 };
 use serde::Serialize;
 use workloads::{DataScale, Wordcount, Workload};
@@ -56,6 +61,25 @@ struct MultiTenantReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ResilienceReport {
+    /// Injected trial-error rate driven through the fault injector.
+    error_rate: f64,
+    /// One resilient tune with no faults injected (the overhead baseline).
+    clean_tune_s: f64,
+    /// The same tune with 5% of trial attempts erroring.
+    faulty_tune_s: f64,
+    /// `faulty_tune_s / clean_tune_s - 1`: the wall-clock cost of
+    /// retrying through the fault stream.
+    retry_overhead_frac: f64,
+    /// Retry attempts the faulty run consumed (obs counter delta).
+    retries: u64,
+    /// Trials that still failed after retries (obs counter delta).
+    failed_trials: u64,
+    /// Sessions that ended degraded (obs counter delta).
+    degraded_sessions: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     threads: usize,
     tuner: String,
@@ -63,6 +87,7 @@ struct BenchReport {
     stage2_budget: usize,
     single_tenant: Vec<BatchReport>,
     multi_tenant: MultiTenantReport,
+    resilience: ResilienceReport,
 }
 
 fn service(batch: usize) -> SeamlessTuner {
@@ -181,6 +206,59 @@ fn main() {
         "tune_many diverged from sequential tunes at equal settings"
     );
 
+    // Part 3: resilience overhead. One tenant, batch 8, resilient
+    // executor — first with no faults (the pure harness overhead
+    // baseline), then with 5% of trial attempts erroring. The obs
+    // registry counters isolate what the retries actually cost.
+    const ERROR_RATE: f64 = 0.05;
+    let resilient_service = |chaos: Option<FaultInjector>| {
+        SeamlessTuner::new(
+            Arc::new(HistoryStore::new()),
+            SimEnvironment::dedicated(7),
+            ServiceConfig {
+                tuner: TunerKind::BayesOpt,
+                stage1_budget: STAGE1_BUDGET,
+                stage2_budget: STAGE2_BUDGET,
+                transfer_k: 0,
+                batch: 8,
+                retry: Some(RetryPolicy::default()),
+                chaos,
+                ..ServiceConfig::default()
+            },
+        )
+    };
+    let r = &reqs[0];
+    let clean_tune_s = time_median(3, || {
+        let svc = resilient_service(None);
+        let _ = svc.tune(&r.client, &r.workload, &r.job, r.seed);
+    });
+    let reg = obs::registry();
+    let retries_before = reg.counter("executor.retries").get();
+    let failures_before = reg.counter("executor.trial_failures").get();
+    let degraded_before = reg.counter("service.degraded_sessions").get();
+    let faulty_injector = FaultInjector::new(2718, FaultPlan::errors(ERROR_RATE));
+    let faulty_tune_s = {
+        let svc = resilient_service(Some(faulty_injector));
+        let t = Instant::now();
+        let out = svc.tune(&r.client, &r.workload, &r.job, r.seed);
+        let elapsed = t.elapsed().as_secs_f64();
+        assert!(
+            out.best_runtime_s.is_finite() && out.best_runtime_s > 0.0,
+            "the faulty tune must still converge"
+        );
+        elapsed
+    };
+    let retries = reg.counter("executor.retries").get() - retries_before;
+    let failed_trials = reg.counter("executor.trial_failures").get() - failures_before;
+    let degraded_sessions = reg.counter("service.degraded_sessions").get() - degraded_before;
+    let retry_overhead_frac = faulty_tune_s / clean_tune_s - 1.0;
+    println!(
+        "resilience: clean {:8.1}ms  faulty({:.0}% errors) {:8.1}ms  retries={retries} failed={failed_trials}",
+        clean_tune_s * 1e3,
+        ERROR_RATE * 100.0,
+        faulty_tune_s * 1e3,
+    );
+
     let report = BenchReport {
         threads,
         tuner: "bayesopt".to_owned(),
@@ -193,6 +271,15 @@ fn main() {
             tune_many_batch8_s: tune_many_s,
             speedup,
             identical_best_at_equal_settings: identical,
+        },
+        resilience: ResilienceReport {
+            error_rate: ERROR_RATE,
+            clean_tune_s,
+            faulty_tune_s,
+            retry_overhead_frac,
+            retries,
+            failed_trials,
+            degraded_sessions,
         },
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");

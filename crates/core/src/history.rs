@@ -27,6 +27,44 @@ use crate::characterize::WorkloadSignature;
 /// Number of tenant-hash shards in the store.
 pub const SHARD_COUNT: usize = 16;
 
+/// How the execution behind a record ended. Non-`Ok` records exist for
+/// bookkeeping (degradation audits, quarantine forensics) but are
+/// excluded from similarity queries and transfer — a censored penalty
+/// runtime must never masquerade as a measured one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub enum RecordOutcome {
+    /// The run completed and its runtime is a measurement.
+    #[default]
+    Ok,
+    /// The trial was aborted by the execution harness after retries.
+    Failed,
+    /// The trial exceeded its deadline and was killed.
+    TimedOut,
+}
+
+// Manual impl (the offline serde shim has no `#[serde(default)]`):
+// records persisted before outcomes existed carry no `outcome` key,
+// which the derive surfaces as `Null` — treat that as `Ok`.
+impl serde::Deserialize for RecordOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Null => Ok(RecordOutcome::Ok),
+            serde::Value::Str(s) => match s.as_str() {
+                "Ok" => Ok(RecordOutcome::Ok),
+                "Failed" => Ok(RecordOutcome::Failed),
+                "TimedOut" => Ok(RecordOutcome::TimedOut),
+                other => Err(serde::DeError::new(format!(
+                    "unknown variant `{other}` for RecordOutcome"
+                ))),
+            },
+            other => Err(serde::DeError::new(format!(
+                "expected RecordOutcome variant, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// One execution record as the provider sees it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionRecord {
@@ -46,6 +84,25 @@ pub struct ExecutionRecord {
     pub cost_usd: f64,
     /// Monotonic record sequence number (assigned by the store).
     pub seq: u64,
+    /// How the execution ended (pre-outcome records load as `Ok`).
+    pub outcome: RecordOutcome,
+}
+
+impl ExecutionRecord {
+    /// Rejects poisoned numeric fields (NaN, infinite or negative
+    /// runtime/cost) so corrupt telemetry never enters the store.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.runtime_s.is_finite() || self.runtime_s < 0.0 {
+            return Err(format!(
+                "rejecting record: poisoned runtime {}",
+                self.runtime_s
+            ));
+        }
+        if !self.cost_usd.is_finite() || self.cost_usd < 0.0 {
+            return Err(format!("rejecting record: poisoned cost {}", self.cost_usd));
+        }
+        Ok(())
+    }
 }
 
 /// An incremental read position over a [`HistoryStore`].
@@ -100,16 +157,38 @@ impl HistoryStore {
     }
 
     /// Appends a record, assigning its sequence number.
-    pub fn insert(&self, mut record: ExecutionRecord) -> u64 {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record fails [`ExecutionRecord::validate`] —
+    /// callers ingesting untrusted telemetry must use
+    /// [`HistoryStore::try_insert`] instead.
+    pub fn insert(&self, record: ExecutionRecord) -> u64 {
+        self.try_insert(record)
+            .expect("caller must validate records before insert")
+    }
+
+    /// Appends a record after validating it, assigning its sequence
+    /// number. Poisoned records (NaN/negative runtime or cost) are
+    /// rejected with a reason and counted under `history.rejects`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure without mutating the store.
+    pub fn try_insert(&self, mut record: ExecutionRecord) -> Result<u64, String> {
         let reg = obs::registry();
+        if let Err(why) = record.validate() {
+            reg.counter("history.rejects").inc();
+            return Err(why);
+        }
         reg.counter("history.inserts").inc();
-        reg.histogram("history.insert_s").time(|| {
+        Ok(reg.histogram("history.insert_s").time(|| {
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             record.seq = seq;
             self.shards[shard_of(&record.client)].write().push(record);
             reg.gauge("history.records").set((seq + 1) as f64);
             seq
-        })
+        }))
     }
 
     /// Number of records.
@@ -173,6 +252,11 @@ impl HistoryStore {
                 let records = shard.read();
                 for (pi, r) in records.iter().enumerate() {
                     if exclude_client.is_some_and(|c| r.client == c) {
+                        continue;
+                    }
+                    // Censored runs never transfer: their penalty
+                    // runtime is an artifact, not a measurement.
+                    if r.outcome != RecordOutcome::Ok {
                         continue;
                     }
                     scored.push((query.distance(&r.signature), r.seq, si, pi));
@@ -257,6 +341,7 @@ mod tests {
             runtime_s: runtime,
             cost_usd: 1.0,
             seq: 0,
+            outcome: RecordOutcome::Ok,
         }
     }
 
@@ -354,6 +439,48 @@ mod tests {
     }
 
     #[test]
+    fn try_insert_rejects_poisoned_durations() {
+        let store = HistoryStore::new();
+        let mut nan = record("a", 50.0, 10.0);
+        nan.runtime_s = f64::NAN;
+        assert!(store.try_insert(nan).is_err());
+        let mut neg = record("a", 50.0, 10.0);
+        neg.runtime_s = -3.0;
+        assert!(store.try_insert(neg).is_err());
+        let mut bad_cost = record("a", 50.0, 10.0);
+        bad_cost.cost_usd = f64::NEG_INFINITY;
+        assert!(store.try_insert(bad_cost).is_err());
+        assert!(store.is_empty(), "rejected records must not enter");
+        assert!(store.try_insert(record("a", 50.0, 10.0)).is_ok());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "caller must validate")]
+    fn insert_panics_on_poisoned_record() {
+        let store = HistoryStore::new();
+        let mut bad = record("a", 50.0, 10.0);
+        bad.runtime_s = f64::NAN;
+        store.insert(bad);
+    }
+
+    #[test]
+    fn similarity_skips_censored_records() {
+        let store = HistoryStore::new();
+        let mut aborted = record("a", 90.0, 86_400.0);
+        aborted.outcome = RecordOutcome::Failed;
+        store.insert(aborted);
+        let mut reaped = record("b", 90.0, 86_400.0);
+        reaped.outcome = RecordOutcome::TimedOut;
+        store.insert(reaped);
+        store.insert(record("c", 10.0, 20.0)); // far but healthy
+        let top = store.most_similar(&sig(90.0, 10.0), 3, None);
+        assert_eq!(top.len(), 1, "censored records must not transfer");
+        assert_eq!(top[0].client, "c");
+        assert_eq!(store.best_similar_runtime(&sig(90.0, 10.0), 3), Some(20.0));
+    }
+
+    #[test]
     fn store_is_shareable_across_threads() {
         use std::sync::Arc;
         let store = Arc::new(HistoryStore::new());
@@ -410,7 +537,10 @@ impl HistoryStore {
                 continue;
             }
             let record: ExecutionRecord = serde_json::from_str(line)?;
-            store.insert(record);
+            store
+                .try_insert(record)
+                .map_err(|why| serde::DeError::new(why).into())
+                .map_err(|e: serde_json::Error| e)?;
         }
         Ok(store)
     }
@@ -427,9 +557,13 @@ impl HistoryStore {
                 continue;
             }
             match serde_json::from_str::<ExecutionRecord>(line) {
-                Ok(record) => {
-                    store.insert(record);
-                }
+                // Validation failures (poisoned runtime/cost) count as
+                // skipped too — a NaN smuggled into a stored line must
+                // not re-enter the live store.
+                Ok(record) => match store.try_insert(record) {
+                    Ok(_) => {}
+                    Err(_) => skipped += 1,
+                },
                 Err(_) => skipped += 1,
             }
         }
@@ -461,6 +595,7 @@ mod persistence_tests {
             runtime_s: 10.0 + i as f64,
             cost_usd: 0.5,
             seq: 0,
+            outcome: RecordOutcome::Ok,
         }
     }
 
@@ -497,6 +632,67 @@ mod persistence_tests {
         let (restored, skipped) = HistoryStore::from_jsonl_lossy(&dump);
         assert_eq!(restored.len(), 3);
         assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn lossy_load_skips_poisoned_runtimes() {
+        let store = HistoryStore::new();
+        store.insert(record(0));
+        let mut dump = store.to_jsonl().expect("serializes");
+        // A line that parses but carries a poisoned runtime must be
+        // dropped at ingestion, not stored.
+        let line = dump.lines().next().expect("one line");
+        let v: serde::Value = serde_json::from_str(line).expect("parses as value");
+        let serde::Value::Object(pairs) = v else {
+            panic!("record must serialize as an object");
+        };
+        let poisoned: Vec<(String, serde::Value)> = pairs
+            .into_iter()
+            .map(|(k, val)| {
+                if k == "runtime_s" {
+                    (k, serde::Value::F64(-10.0))
+                } else {
+                    (k, val)
+                }
+            })
+            .collect();
+        dump.push_str(&serde_json::to_string(&serde::Value::Object(poisoned)).expect("serializes"));
+        dump.push('\n');
+        let (restored, skipped) = HistoryStore::from_jsonl_lossy(&dump);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(skipped, 1);
+        // The strict loader refuses the whole file instead.
+        assert!(HistoryStore::from_jsonl(&dump).is_err());
+    }
+
+    #[test]
+    fn records_without_outcome_field_load_as_ok() {
+        let store = HistoryStore::new();
+        store.insert(record(0));
+        let dump = store.to_jsonl().expect("serializes");
+        // Strip the outcome key to simulate a pre-outcome JSONL file.
+        let line = dump.lines().next().expect("one line");
+        let v: serde::Value = serde_json::from_str(line).expect("parses as value");
+        let serde::Value::Object(pairs) = v else {
+            panic!("record must serialize as an object");
+        };
+        let stripped: Vec<(String, serde::Value)> =
+            pairs.into_iter().filter(|(k, _)| k != "outcome").collect();
+        let legacy = serde_json::to_string(&serde::Value::Object(stripped)).expect("serializes");
+        assert!(!legacy.contains("outcome"));
+        let restored = HistoryStore::from_jsonl(&legacy).expect("legacy line loads");
+        assert_eq!(restored.snapshot()[0].outcome, RecordOutcome::Ok);
+    }
+
+    #[test]
+    fn outcome_tags_roundtrip() {
+        let store = HistoryStore::new();
+        let mut r = record(0);
+        r.outcome = RecordOutcome::TimedOut;
+        store.insert(r);
+        let dump = store.to_jsonl().expect("serializes");
+        let restored = HistoryStore::from_jsonl(&dump).expect("parses");
+        assert_eq!(restored.snapshot()[0].outcome, RecordOutcome::TimedOut);
     }
 
     #[test]

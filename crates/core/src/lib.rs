@@ -14,6 +14,9 @@
 //!   surrogate-assisted genetic search, BestConfig's
 //!   divide-and-diverge + bound-and-search, Wang's regression trees,
 //!   PARIS's random forests and Ernest's analytic scaling model;
+//! * [`executor`] + [`faults`] — concurrent trial execution with
+//!   deterministic seeding, plus the resilience layer: seeded fault
+//!   injection, retry/backoff policies, deadlines and quarantine;
 //! * [`characterize`] — workload signatures from execution metrics
 //!   (§V-B: "accurate characterization of analytic workloads");
 //! * [`history`] — the provider-side multi-tenant execution-history
@@ -30,6 +33,7 @@
 
 pub mod characterize;
 pub mod executor;
+pub mod faults;
 pub mod goal;
 pub mod history;
 pub mod objective;
@@ -42,9 +46,10 @@ pub mod tuner;
 pub mod whatif;
 
 pub use characterize::WorkloadSignature;
-pub use executor::TrialExecutor;
+pub use executor::{DegradationReport, RetryPolicy, TrialError, TrialExecutor, TrialOutcome};
+pub use faults::{FaultInjector, FaultKind, FaultPlan};
 pub use goal::{GoalObjective, TuningGoal};
-pub use history::{ExecutionRecord, HistoryCursor, HistoryStore};
+pub use history::{ExecutionRecord, HistoryCursor, HistoryStore, RecordOutcome};
 pub use objective::{
     BatchObjective, CloudObjective, DiscObjective, JointObjective, Objective, Observation,
     SimEnvironment, FAILURE_PENALTY_S,

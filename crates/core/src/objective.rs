@@ -52,6 +52,51 @@ impl Observation {
     pub fn is_ok(&self) -> bool {
         self.failure.is_none()
     }
+
+    /// Whether the observation is *censored*: the execution harness
+    /// aborted the trial (retry budget exhausted, panic, poisoned
+    /// telemetry) or killed it at the deadline. The penalty runtime
+    /// still ranks a censored point worst, but it carries no signal
+    /// about the true objective — surrogates must fit on survivors only
+    /// and penalize, not model, these regions.
+    pub fn is_censored(&self) -> bool {
+        matches!(
+            self.failure,
+            Some(FailureKind::TrialAborted { .. }) | Some(FailureKind::TrialTimeout)
+        )
+    }
+
+    /// Wall-clock seconds the trial occupied the cluster: successful
+    /// runs take their runtime, launch failures burn the spin-up time,
+    /// runtime crashes burn minutes before dying. Distinct from
+    /// `runtime_s`, which for failures is the *ranking* penalty
+    /// ([`FAILURE_PENALTY_S`]) rather than elapsed time — deadlines
+    /// compare against latency, never against the penalty.
+    pub fn trial_latency_s(&self) -> f64 {
+        match &self.failure {
+            None => self.runtime_s,
+            Some(FailureKind::LaunchFailure { .. }) => LAUNCH_FAILURE_COST_S,
+            Some(_) => RUNTIME_FAILURE_COST_S,
+        }
+    }
+
+    /// Checks the observation's telemetry for poisoned values (NaN,
+    /// infinite or negative durations/costs) that must never reach the
+    /// history store or the surrogates.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.runtime_s.is_finite() || self.runtime_s < 0.0 {
+            return Err(format!("poisoned runtime {}", self.runtime_s));
+        }
+        if !self.cost_usd.is_finite() || self.cost_usd < 0.0 {
+            return Err(format!("poisoned cost {}", self.cost_usd));
+        }
+        if let Some(m) = &self.metrics {
+            if !m.is_wellformed() {
+                return Err("poisoned execution metrics".to_owned());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A black-box tuning objective.

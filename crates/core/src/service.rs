@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 use simcluster::{ClusterSpec, JobSpec};
 
 use crate::characterize::WorkloadSignature;
-use crate::history::{ExecutionRecord, HistoryStore};
+use crate::executor::RetryPolicy;
+use crate::faults::FaultInjector;
+use crate::history::{ExecutionRecord, HistoryStore, RecordOutcome};
 use crate::objective::{CloudObjective, DiscObjective, Objective, Observation, SimEnvironment};
 use crate::retune::{RetuneMonitor, RetunePolicy, RetuneReason};
 use crate::slo::AmortizationLedger;
@@ -56,6 +58,16 @@ pub struct ServiceConfig {
     /// [`crate::executor::TrialExecutor`] evaluate the round
     /// concurrently.
     pub batch: usize,
+    /// Retry/backoff policy for resilient trial execution. `Some`
+    /// routes every tuning session through the resilient executor path
+    /// (retries, per-trial deadlines, quarantine); `None` keeps the
+    /// plain fast path unless `chaos` is set, in which case
+    /// [`RetryPolicy::default`] applies.
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault injection for chaos testing. `Some` forces
+    /// resilient execution and perturbs trials with the injector's
+    /// seeded fault stream (reseeded per stage and per tenant).
+    pub chaos: Option<FaultInjector>,
 }
 
 impl Default for ServiceConfig {
@@ -69,7 +81,30 @@ impl Default for ServiceConfig {
             retune_policy: RetunePolicy::PageHinkley,
             retune_budget: 10,
             batch: 1,
+            retry: None,
+            chaos: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Whether tuning sessions run through the resilient executor path.
+    pub fn is_resilient(&self) -> bool {
+        self.retry.is_some() || self.chaos.is_some()
+    }
+
+    /// The effective retry policy (defaults apply when only chaos is
+    /// configured).
+    pub fn effective_retry(&self) -> RetryPolicy {
+        self.retry.unwrap_or_default()
+    }
+
+    /// The stage injector: the configured chaos injector reseeded with
+    /// `salt`, or the no-op injector.
+    fn injector(&self, salt: u64) -> FaultInjector {
+        self.chaos
+            .map(|inj| inj.reseed(salt))
+            .unwrap_or_else(FaultInjector::none)
     }
 }
 
@@ -205,6 +240,12 @@ impl SeamlessTuner {
             },
         );
         let mut stage1 = TuningSession::new(self.config.tuner, self.env.seed ^ seed ^ 0xA1);
+        if self.config.is_resilient() {
+            stage1.with_resilience(
+                self.config.effective_retry(),
+                self.config.injector(seed ^ 0xFA51),
+            );
+        }
         let s1 = stage1.run_batched(&mut cloud_obj, self.config.stage1_budget, self.config.batch);
         let cloud_config = s1
             .best_config()
@@ -275,6 +316,12 @@ impl SeamlessTuner {
         } else {
             TuningSession::new(self.config.tuner, seed ^ 0xB2)
         };
+        if self.config.is_resilient() {
+            stage2.with_resilience(
+                self.config.effective_retry(),
+                self.config.injector(seed ^ 0xFA52),
+            );
+        }
         let mut s2 = stage2.run_batched(
             &mut disc_obj,
             self.config.stage2_budget.saturating_sub(1),
@@ -295,10 +342,14 @@ impl SeamlessTuner {
             .unwrap_or_else(Self::house_default);
         drop(stage2_span);
 
+        if s1.is_degraded() || s2.is_degraded() {
+            obs::registry().counter("service.degraded_sessions").inc();
+        }
+
         // --- Record everything the provider witnessed. ---
-        self.record(client, workload, &probe);
+        self.record(client, workload, &probe, &signature);
         for o in s1.history.iter().chain(s2.history.iter()) {
-            self.record(client, workload, o);
+            self.record(client, workload, o, &signature);
         }
 
         ServiceOutcome {
@@ -333,18 +384,38 @@ impl SeamlessTuner {
         outcomes
     }
 
-    fn record(&self, client: &str, workload: &str, obs: &Observation) {
-        let Some(metrics) = &obs.metrics else {
-            return; // crashed runs carry no characterization signal
+    fn record(
+        &self,
+        client: &str,
+        workload: &str,
+        obs: &Observation,
+        fallback: &WorkloadSignature,
+    ) {
+        let outcome = match &obs.failure {
+            Some(simcluster::FailureKind::TrialTimeout) => RecordOutcome::TimedOut,
+            Some(simcluster::FailureKind::TrialAborted { .. }) => RecordOutcome::Failed,
+            _ => RecordOutcome::Ok,
         };
-        self.store.insert(ExecutionRecord {
+        let signature = match &obs.metrics {
+            Some(metrics) => WorkloadSignature::from_metrics(metrics),
+            // Censored runs still enter the history — tagged so
+            // similarity search and transfer skip them — under the
+            // tenant's probe signature (the run itself produced none).
+            None if outcome != RecordOutcome::Ok => fallback.clone(),
+            None => return, // crashed runs carry no characterization signal
+        };
+        // Poisoned observations are rejected at the store boundary
+        // (counted by `history.rejects`) instead of contaminating
+        // transfer; nothing to do here beyond not inserting.
+        let _ = self.store.try_insert(ExecutionRecord {
             client: client.to_owned(),
             workload: workload.to_owned(),
-            signature: WorkloadSignature::from_metrics(metrics),
+            signature,
             config: obs.config.clone(),
             runtime_s: obs.runtime_s,
             cost_usd: obs.cost_usd,
             seq: 0,
+            outcome,
         });
     }
 }
@@ -409,7 +480,15 @@ impl ManagedWorkload {
             obs::registry().counter("service.retunes").inc();
             let mut session =
                 TuningSession::new(self.service.tuner, self.seed ^ (self.runs as u64) << 8);
-            let outcome = session.run(&mut self.objective, self.service.retune_budget);
+            let outcome = if self.service.is_resilient() {
+                session.with_resilience(
+                    self.service.effective_retry(),
+                    self.service.injector(self.seed ^ 0x4E7),
+                );
+                session.run_batched(&mut self.objective, self.service.retune_budget, 1)
+            } else {
+                session.run(&mut self.objective, self.service.retune_budget)
+            };
             tuning_spent = outcome.history.len();
             if let Some(best) = outcome.best_config() {
                 // Only adopt the re-tuned configuration if it beats the

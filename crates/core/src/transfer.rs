@@ -295,6 +295,7 @@ mod tests {
                 runtime_s: runtime,
                 cost_usd: 0.0,
                 seq: 0,
+                outcome: crate::history::RecordOutcome::Ok,
             });
         }
         let donated = donated_observations(&store, &sig, 3, None, 20.0);
@@ -464,7 +465,16 @@ impl ClusterIndex {
         use rand::SeedableRng;
         let reg = obs::registry();
         let st = &mut *self.state.lock();
-        st.pending.extend(store.records_since(&mut st.cursor));
+        // Censored runs (aborted/timed-out trials) never enter the
+        // clustering: their penalty runtimes would distort medoids and
+        // they carry no transferable signal — mirrors the filter in
+        // [`HistoryStore::most_similar`].
+        st.pending.extend(
+            store
+                .records_since(&mut st.cursor)
+                .into_iter()
+                .filter(|r| r.outcome == crate::history::RecordOutcome::Ok),
+        );
 
         let total = st
             .clusters
@@ -538,6 +548,7 @@ mod clustered_tests {
             runtime_s: runtime,
             cost_usd: 0.0,
             seq: 0,
+            outcome: crate::history::RecordOutcome::Ok,
         }
     }
 

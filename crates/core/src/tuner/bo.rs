@@ -9,7 +9,7 @@ use models::{expected_improvement, FitKind, GpFitCache, Kernel};
 use rand::RngCore;
 
 use crate::objective::Observation;
-use crate::tuner::{best_observation, encode_history, Tuner};
+use crate::tuner::{best_observation, encode_censored, encode_history, Tuner};
 
 /// Maximum observations kept for the GP fit (most recent + the best are
 /// retained): bounds the O(n³) Cholesky cost for long sessions.
@@ -22,6 +22,25 @@ const EI_CHUNK: usize = 64;
 /// Squared bandwidth of the local EI penalty used by batch proposals
 /// (h = 0.2 in the unit-normalized encoded space).
 const PENALTY_BANDWIDTH_SQ: f64 = 0.04;
+
+/// Damps EI scores near censored observations (trials the execution
+/// harness aborted or quarantined): the surrogate has no data there by
+/// design, so optimism from the prior must not keep re-proposing the
+/// same failing region. No-op when nothing is censored — the scores of
+/// a healthy session are untouched, bit for bit.
+fn penalize_censored(scores: &mut [f64], encoded: &[Vec<f64>], censored: &[Vec<f64>]) {
+    if censored.is_empty() {
+        return;
+    }
+    for (score, point) in scores.iter_mut().zip(encoded) {
+        let mut damp = 1.0;
+        for bad in censored {
+            let d2: f64 = point.iter().zip(bad).map(|(a, b)| (a - b) * (a - b)).sum();
+            damp *= 1.0 - (-d2 / (2.0 * PENALTY_BANDWIDTH_SQ)).exp();
+        }
+        *score *= damp;
+    }
+}
 
 /// GP Bayesian optimization with EI acquisition.
 #[derive(Debug, Clone)]
@@ -166,8 +185,10 @@ impl Tuner for BayesOpt {
         history: &[Observation],
         rng: &mut dyn RngCore,
     ) -> Configuration {
-        // Warm-up: a stratified initial design.
-        if history.len() < self.init_samples {
+        // Warm-up: a stratified initial design. Censored observations
+        // don't count — the surrogate needs real measurements to fit.
+        let survivors = history.iter().filter(|o| !o.is_censored()).count();
+        if survivors < self.init_samples {
             if self.pending_init.is_empty() {
                 self.pending_init = LatinHypercube.sample_n(space, self.init_samples, rng);
             }
@@ -184,6 +205,7 @@ impl Tuner for BayesOpt {
             .unwrap_or(f64::INFINITY);
 
         let mut cands = self.candidate_pool(space, history, rng);
+        let censored = encode_censored(space, history);
 
         let _acq = obs::span("acquisition").with("candidates", cands.len());
         reg.histogram("bo.acquisition_s").time(|| {
@@ -193,12 +215,13 @@ impl Tuner for BayesOpt {
             // ties, matching the sequential scan) is thread-count
             // independent.
             let encoded: Vec<Vec<f64>> = cands.iter().map(|c| space.encode(c)).collect();
-            let scores = models::par::par_chunks(&encoded, EI_CHUNK, |chunk| {
+            let mut scores = models::par::par_chunks(&encoded, EI_CHUNK, |chunk| {
                 gp.predict_batch(chunk)
                     .into_iter()
                     .map(|(m, s)| expected_improvement(m, s, best_ln))
                     .collect()
             });
+            penalize_censored(&mut scores, &encoded, &censored);
             scores
                 .into_iter()
                 .enumerate()
@@ -223,7 +246,8 @@ impl Tuner for BayesOpt {
             return vec![self.propose(space, history, rng)];
         }
         // Warm-up rounds drain the stratified init design directly.
-        if history.len() < self.init_samples {
+        let survivors = history.iter().filter(|o| !o.is_censored()).count();
+        if survivors < self.init_samples {
             return (0..q).map(|_| self.propose(space, history, rng)).collect();
         }
 
@@ -233,6 +257,7 @@ impl Tuner for BayesOpt {
             .map(|o| o.runtime_s.max(1e-3).ln())
             .unwrap_or(f64::INFINITY);
         let cands = self.candidate_pool(space, history, rng);
+        let censored = encode_censored(space, history);
 
         let _acq = obs::span("acquisition")
             .with("candidates", cands.len())
@@ -245,6 +270,7 @@ impl Tuner for BayesOpt {
                     .map(|(m, s)| expected_improvement(m, s, best_ln))
                     .collect()
             });
+            penalize_censored(&mut scores, &encoded, &censored);
             let mut taken = vec![false; scores.len()];
             let mut out: Vec<Configuration> = Vec::with_capacity(q);
             for _ in 0..q.min(scores.len()) {

@@ -7,8 +7,12 @@ use confspace::{Configuration, LatinHypercube, ParamSpace, Sampler, UniformSampl
 use models::{lower_confidence_bound, ForestParams, RandomForest};
 use rand::RngCore;
 
-use crate::objective::Observation;
-use crate::tuner::{encode_history, Tuner};
+use crate::objective::{Observation, FAILURE_PENALTY_S};
+use crate::tuner::{encode_censored, encode_history, Tuner};
+
+/// Squared bandwidth of the censored-region penalty (h = 0.2 in the
+/// unit-normalized encoded space, matching the BO batch penalty).
+const CENSOR_BANDWIDTH_SQ: f64 = 0.04;
 
 /// Random-forest surrogate search with LCB acquisition.
 #[derive(Debug, Clone)]
@@ -51,7 +55,10 @@ impl Tuner for ForestTuner {
         history: &[Observation],
         rng: &mut dyn RngCore,
     ) -> Configuration {
-        if history.len() < self.init_samples {
+        // Censored observations don't count towards warm-up: the
+        // forest needs real measurements to fit.
+        let survivors = history.iter().filter(|o| !o.is_censored()).count();
+        if survivors < self.init_samples {
             if self.pending_init.is_empty() {
                 self.pending_init = LatinHypercube.sample_n(space, self.init_samples, rng);
             }
@@ -61,12 +68,29 @@ impl Tuner for ForestTuner {
         }
         let (x, y) = encode_history(space, history);
         let forest = RandomForest::fit(&x, &y, ForestParams::default(), rng);
+        let censored = encode_censored(space, history);
         UniformSampler
             .sample_n(space, self.candidates, rng)
             .into_iter()
             .map(|c| {
-                let (m, s) = forest.predict_with_std(&space.encode(&c));
-                (c, lower_confidence_bound(m, s, self.beta))
+                let point = space.encode(&c);
+                let (m, s) = forest.predict_with_std(&point);
+                let mut score = lower_confidence_bound(m, s, self.beta);
+                if !censored.is_empty() {
+                    // LCB minimizes, so censored regions add a penalty
+                    // proportional to proximity — the forest has no data
+                    // there and must not look optimistic.
+                    let proximity = censored
+                        .iter()
+                        .map(|bad| {
+                            let d2: f64 =
+                                point.iter().zip(bad).map(|(a, b)| (a - b) * (a - b)).sum();
+                            (-d2 / (2.0 * CENSOR_BANDWIDTH_SQ)).exp()
+                        })
+                        .fold(0.0, f64::max);
+                    score += FAILURE_PENALTY_S.ln() * proximity;
+                }
+                (c, score)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)

@@ -34,6 +34,8 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::executor::{DegradationReport, RetryPolicy, TrialOutcome};
+use crate::faults::FaultInjector;
 use crate::objective::{BatchObjective, Objective, Observation};
 
 pub use additive_bo::AdditiveBayesOpt;
@@ -217,6 +219,11 @@ pub struct TuningOutcome {
     pub history: Vec<Observation>,
     /// The best successful observation, if any run succeeded.
     pub best: Option<Observation>,
+    /// Resilience statistics, present for sessions run with a
+    /// [`RetryPolicy`]/[`FaultInjector`] attached. A session that blew
+    /// its round failure budget still returns here — partial history,
+    /// `degradation.budget_exhausted == true` — instead of erroring.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl TuningOutcome {
@@ -243,6 +250,12 @@ impl TuningOutcome {
     /// Total machine time consumed by tuning (s).
     pub fn total_machine_time_s(&self) -> f64 {
         self.history.iter().map(|o| o.runtime_s).sum()
+    }
+
+    /// Whether the session degraded: any trial failed or timed out, or
+    /// the failure budget ended it early.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.as_ref().is_some_and(|d| d.degraded())
     }
 
     /// Number of evaluations needed to get within `pct` (e.g. 0.10) of
@@ -281,10 +294,30 @@ pub fn best_observation(history: &[Observation]) -> Option<&Observation> {
 /// Encodes a history for surrogate models: features in `[0,1]^d`,
 /// targets as `ln(runtime)` (the log tames the failure penalty and the
 /// heavy right tail of runtime distributions).
+///
+/// Censored observations ([`Observation::is_censored`]) are dropped:
+/// their penalty runtime is a ranking artifact of the execution
+/// harness, not a measurement, so surrogates fit on survivors only.
+/// (Objective-level failures — OOM, fetch timeout — stay in: their
+/// penalty *is* the signal that a region misconfigures the job.)
 pub fn encode_history(space: &ParamSpace, history: &[Observation]) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let x = history.iter().map(|o| space.encode(&o.config)).collect();
-    let y = history.iter().map(|o| o.runtime_s.max(1e-3).ln()).collect();
+    let survivors: Vec<&Observation> = history.iter().filter(|o| !o.is_censored()).collect();
+    let x = survivors.iter().map(|o| space.encode(&o.config)).collect();
+    let y = survivors
+        .iter()
+        .map(|o| o.runtime_s.max(1e-3).ln())
+        .collect();
     (x, y)
+}
+
+/// Encoded positions of a history's censored observations — the points
+/// acquisition functions penalize instead of modelling.
+pub fn encode_censored(space: &ParamSpace, history: &[Observation]) -> Vec<Vec<f64>> {
+    history
+        .iter()
+        .filter(|o| o.is_censored())
+        .map(|o| space.encode(&o.config))
+        .collect()
 }
 
 /// A tuning session: a strategy plus a seeded RNG, driven against an
@@ -294,17 +327,15 @@ pub struct TuningSession {
     rng: StdRng,
     seed: u64,
     warm: Vec<Observation>,
+    policy: RetryPolicy,
+    injector: FaultInjector,
+    resilient: bool,
 }
 
 impl TuningSession {
     /// Creates a session for the given strategy and seed.
     pub fn new(kind: TunerKind, seed: u64) -> Self {
-        TuningSession {
-            tuner: kind.build(),
-            rng: StdRng::seed_from_u64(seed),
-            seed,
-            warm: Vec::new(),
-        }
+        Self::with_tuner(kind.build(), seed)
     }
 
     /// Creates a session around an existing tuner instance.
@@ -314,7 +345,23 @@ impl TuningSession {
             rng: StdRng::seed_from_u64(seed),
             seed,
             warm: Vec::new(),
+            policy: RetryPolicy::default(),
+            injector: FaultInjector::none(),
+            resilient: false,
         }
+    }
+
+    /// Turns on resilient execution: trials run through the retry
+    /// policy (and, in chaos tests, the fault injector), failed trials
+    /// become censored observations, and the outcome carries a
+    /// [`DegradationReport`]. With the default policy and a no-op
+    /// injector, the observations are bitwise identical to plain
+    /// batched execution.
+    pub fn with_resilience(&mut self, policy: RetryPolicy, injector: FaultInjector) -> &mut Self {
+        self.policy = policy;
+        self.injector = injector;
+        self.resilient = true;
+        self
     }
 
     /// Seeds the session with transferred observations (§V-B): they are
@@ -363,18 +410,30 @@ impl TuningSession {
                 obs::fields![("tuner", self.tuner.name()), ("runtime_s", b.runtime_s)],
             );
         }
-        TuningOutcome { history, best }
+        TuningOutcome {
+            history,
+            best,
+            degradation: None,
+        }
     }
 
     /// Runs `budget` evaluations against `objective`, proposing and
     /// evaluating `batch` trials at a time on a [`TrialExecutor`].
     ///
-    /// `batch == 1` takes the exact sequential [`TuningSession::run`]
-    /// code path — same proposals, same observations, bit for bit. For
-    /// larger batches, proposals come from [`Tuner::propose_batch`] and
-    /// evaluations fan out over the executor's worker pool with
-    /// deterministic per-trial seeding, so neither the batch size nor
-    /// the thread count changes what any individual trial observes.
+    /// For a non-resilient session, `batch == 1` takes the exact
+    /// sequential [`TuningSession::run`] code path — same proposals,
+    /// same observations, bit for bit. For larger batches, proposals
+    /// come from [`Tuner::propose_batch`] and evaluations fan out over
+    /// the executor's worker pool with deterministic per-trial seeding,
+    /// so neither the batch size nor the thread count changes what any
+    /// individual trial observes.
+    ///
+    /// A resilient session ([`TuningSession::with_resilience`]) always
+    /// runs on the executor: failed/timed-out trials enter the history
+    /// as censored observations, quarantined configs stop burning
+    /// budget, and a round whose failures exceed the policy's budget
+    /// ends the session early with a partial outcome whose
+    /// [`DegradationReport`] says so.
     ///
     /// [`TrialExecutor`]: crate::executor::TrialExecutor
     pub fn run_batched<O: BatchObjective>(
@@ -383,7 +442,7 @@ impl TuningSession {
         budget: usize,
         batch: usize,
     ) -> TuningOutcome {
-        if batch <= 1 {
+        if batch <= 1 && !self.resilient {
             return self.run(objective, budget);
         }
         let _session = obs::span("tuning_session")
@@ -391,10 +450,12 @@ impl TuningSession {
             .with("budget", budget)
             .with("batch", batch);
         let reg = obs::registry();
-        let mut executor = crate::executor::TrialExecutor::new(self.seed ^ 0xE0E0_7A17);
+        let mut executor = crate::executor::TrialExecutor::new(self.seed ^ 0xE0E0_7A17)
+            .with_resilience(self.policy, self.injector);
+        let mut report = DegradationReport::default();
         let mut history: Vec<Observation> = Vec::with_capacity(budget);
         while history.len() < budget {
-            let q = batch.min(budget - history.len());
+            let q = batch.max(1).min(budget - history.len());
             let mut round = obs::span("proposal_batch")
                 .with("idx", history.len())
                 .with("q", q);
@@ -410,7 +471,12 @@ impl TuningSession {
             if cfgs.is_empty() {
                 break; // defensive: a strategy with nothing left to propose
             }
-            let observed = executor.run_batch(&*objective, &cfgs);
+            let outcomes = executor.run_trials(&*objective, &cfgs);
+            let round_failures = report.absorb_round(&outcomes);
+            let observed: Vec<Observation> = outcomes
+                .into_iter()
+                .map(TrialOutcome::into_observation)
+                .collect();
             reg.counter("tuner.evaluations").add(observed.len() as u64);
             let failed = observed.iter().filter(|o| !o.is_ok()).count();
             if failed > 0 {
@@ -418,7 +484,13 @@ impl TuningSession {
             }
             round.record("ok", (observed.len() - failed) as f64);
             history.extend(observed);
+            if self.resilient && round_failures > self.policy.round_failure_budget {
+                report.budget_exhausted = true;
+                reg.counter("session.budget_exhausted").inc();
+                break;
+            }
         }
+        report.quarantined = executor.quarantined_count();
         let best = best_observation(&history).cloned();
         if let Some(b) = &best {
             obs::instant(
@@ -426,7 +498,11 @@ impl TuningSession {
                 obs::fields![("tuner", self.tuner.name()), ("runtime_s", b.runtime_s)],
             );
         }
-        TuningOutcome { history, best }
+        TuningOutcome {
+            history,
+            best,
+            degradation: self.resilient.then_some(report),
+        }
     }
 
     /// The underlying strategy's name.
@@ -478,6 +554,7 @@ mod tests {
         let o = TuningOutcome {
             history: vec![obs(10.0, true), obs(4.0, true), obs(6.0, true)],
             best: Some(obs(4.0, true)),
+            degradation: None,
         };
         assert_eq!(o.best_runtime_s(), 4.0);
         assert_eq!(o.total_cost_usd(), 3.0);

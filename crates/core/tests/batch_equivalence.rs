@@ -10,10 +10,12 @@ use std::sync::Arc;
 use confspace::{Configuration, ParamDef, ParamSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use seamless_core::objective::{DiscObjective, SimEnvironment};
+use seamless_core::objective::{BatchObjective, DiscObjective, Objective, SimEnvironment};
 use seamless_core::service::TenantRequest;
 use seamless_core::tuner::{TunerKind, TuningSession};
-use seamless_core::{HistoryStore, Observation, SeamlessTuner, ServiceConfig};
+use seamless_core::{
+    HistoryStore, Observation, SeamlessTuner, ServiceConfig, TrialExecutor, TrialOutcome,
+};
 use simcluster::ClusterSpec;
 use workloads::{DataScale, Wordcount, Workload};
 
@@ -158,6 +160,86 @@ fn run_batched_larger_batches_are_deterministic_and_fill_the_budget() {
             );
         }
         assert!(a.best.is_some(), "batch {batch}: no best found");
+    }
+}
+
+/// A synthetic objective that *panics* on part of its space — the
+/// hostile version of a faulty execution substrate.
+struct FaultyObjective {
+    space: ParamSpace,
+}
+
+impl Objective for FaultyObjective {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn evaluate(&mut self, config: &Configuration) -> Observation {
+        self.evaluate_trial(config, 0)
+    }
+}
+
+impl BatchObjective for FaultyObjective {
+    fn evaluate_trial(&self, config: &Configuration, trial_seed: u64) -> Observation {
+        let a = config.int("a");
+        assert!(a <= 90, "substrate crash on a > 90");
+        Observation {
+            runtime_s: synth_eval(config) + (trial_seed % 7) as f64 * 1e-3,
+            config: config.clone(),
+            cost_usd: 0.0,
+            metrics: None,
+            failure: None,
+        }
+    }
+}
+
+/// The partition-invariance contract must survive a faulty objective:
+/// panicking trials become `Failed` outcomes (never a torn round), and
+/// splitting the same configs across differently sized batches yields
+/// identical outcomes — including which trials failed.
+#[test]
+fn faulty_objective_outcomes_are_invariant_to_batch_partitioning() {
+    let obj = FaultyObjective {
+        space: synth_space(),
+    };
+    // A fixed mix of healthy and crashing configurations.
+    let configs: Vec<Configuration> = (0..12)
+        .map(|i| {
+            Configuration::new()
+                .with("a", (i * 9) as i64) // i = 11 → a = 99 crashes
+                .with("b", 30i64)
+        })
+        .collect();
+
+    let run_split = |chunk: usize| -> Vec<TrialOutcome> {
+        let mut ex = TrialExecutor::new(7);
+        configs
+            .chunks(chunk)
+            .flat_map(|c| ex.run_trials(&obj, c))
+            .collect()
+    };
+    let whole = run_split(12);
+    assert_eq!(whole, run_split(4));
+    assert_eq!(whole, run_split(1));
+
+    let failed: Vec<usize> = whole
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| !o.is_ok())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(failed, vec![11], "exactly the a>90 trial crashes");
+    assert!(matches!(
+        &whole[11],
+        TrialOutcome::Failed { .. } | TrialOutcome::TimedOut { .. }
+    ));
+    // The healthy trials' observations are untouched by the crash.
+    for (i, o) in whole.iter().enumerate() {
+        if i != 11 {
+            let observation = o.observation().expect("healthy trial");
+            assert!(observation.runtime_s.is_finite());
+            assert!(observation.failure.is_none());
+        }
     }
 }
 

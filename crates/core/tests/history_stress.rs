@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::thread;
 
 use confspace::Configuration;
-use seamless_core::{ExecutionRecord, HistoryCursor, HistoryStore, WorkloadSignature};
+use seamless_core::{
+    ExecutionRecord, HistoryCursor, HistoryStore, RecordOutcome, WorkloadSignature,
+};
 use simcluster::{ExecMetrics, StageMetrics};
 
 const WRITERS: usize = 8;
@@ -37,6 +39,7 @@ fn record(client: &str, i: usize) -> ExecutionRecord {
         runtime_s: 10.0 + i as f64,
         cost_usd: 0.25,
         seq: 0,
+        outcome: RecordOutcome::Ok,
     }
 }
 

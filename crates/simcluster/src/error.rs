@@ -48,6 +48,17 @@ pub enum FailureKind {
         /// Stage that failed.
         stage: String,
     },
+    /// The trial was aborted by the execution harness after exhausting
+    /// its retry budget (injected fault, panic, or poisoned telemetry).
+    /// Observations carrying this kind are *censored*: the penalty
+    /// runtime ranks them, but surrogates must not fit on it.
+    TrialAborted {
+        /// Human-readable reason from the last failed attempt.
+        reason: String,
+    },
+    /// The trial exceeded its per-trial deadline (hang or permanent
+    /// straggler) and was killed by the executor. Also censored.
+    TrialTimeout,
 }
 
 impl fmt::Display for FailureKind {
@@ -61,6 +72,10 @@ impl fmt::Display for FailureKind {
             FailureKind::FetchTimeout { stage } => {
                 write!(f, "stage `{stage}` aborted: shuffle fetch timeouts")
             }
+            FailureKind::TrialAborted { reason } => {
+                write!(f, "trial aborted after retries: {reason}")
+            }
+            FailureKind::TrialTimeout => write!(f, "trial exceeded its deadline"),
         }
     }
 }

@@ -99,6 +99,27 @@ impl ExecMetrics {
         self.stages.iter().map(f).sum::<f64>() / total
     }
 
+    /// Whether every duration in the metrics is finite and
+    /// non-negative. Poisoned telemetry (NaN from a crashed agent,
+    /// negative durations from clock skew) must be rejected at
+    /// ingestion time, not merely tolerated by the frac helpers.
+    pub fn is_wellformed(&self) -> bool {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        ok(self.runtime_s)
+            && ok(self.input_mb)
+            && ok(self.shuffle_mb)
+            && ok(self.spill_mb)
+            && self.stages.iter().all(|s| {
+                ok(s.duration_s)
+                    && ok(s.cpu_s)
+                    && ok(s.io_s)
+                    && ok(s.net_s)
+                    && ok(s.gc_s)
+                    && ok(s.ser_s)
+                    && ok(s.spill_mb)
+            })
+    }
+
     /// Mean cache hit fraction over stages that read cached data.
     pub fn cache_hit_frac(&self) -> f64 {
         let readers: Vec<&StageMetrics> = self
@@ -190,6 +211,30 @@ mod tests {
         assert_eq!(m.cpu_frac(), 0.0, "NaN total must take the guard");
         assert_eq!(m.io_frac(), 0.0);
         assert_eq!(m.ser_frac(), 0.0);
+    }
+
+    #[test]
+    fn wellformed_detects_poisoned_durations() {
+        assert!(metrics().is_wellformed());
+        let nan = ExecMetrics {
+            runtime_s: f64::NAN,
+            ..Default::default()
+        };
+        assert!(!nan.is_wellformed());
+        let neg_stage = ExecMetrics {
+            stages: vec![StageMetrics {
+                name: "skew".into(),
+                duration_s: -1.0,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!(!neg_stage.is_wellformed());
+        let inf = ExecMetrics {
+            shuffle_mb: f64::INFINITY,
+            ..Default::default()
+        };
+        assert!(!inf.is_wellformed());
     }
 
     #[test]

@@ -24,6 +24,14 @@ cargo test --workspace -q
 echo "==> SEAMLESS_THREADS=2 cargo test -q -p seamless-core --test batch_equivalence --test history_stress"
 SEAMLESS_THREADS=2 cargo test -q -p seamless-core --test batch_equivalence --test history_stress
 
+# The chaos suite asserts seed-for-seed reproducible fault injection;
+# running it at several worker counts proves fault decisions key off the
+# global trial index, never the thread that happened to run the trial.
+for threads in 1 2 8; do
+  echo "==> SEAMLESS_THREADS=${threads} cargo test -q -p seamless-core --test fault_injection"
+  SEAMLESS_THREADS="${threads}" cargo test -q -p seamless-core --test fault_injection
+done
+
 echo "==> cargo build -q -p bench --bins --benches"
 cargo build -q -p bench --bins --benches
 

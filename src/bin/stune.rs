@@ -13,6 +13,11 @@
 //!   --seed <n>            (default 42)
 //!   --cluster <family.size:nodes>   (default h1.4xlarge:4)
 //!   --goal <min-runtime|min-cost|deadline:<s>>  (default min-runtime)
+//!   --chaos <seed>        inject the default chaos fault mix (10% errors,
+//!                         2% hangs, 5% stragglers, 3% poisoned metrics)
+//!                         with the given seed; trials run through the
+//!                         resilient executor (retries, deadlines,
+//!                         quarantine) and a degradation report is printed
 //! ```
 
 use std::collections::HashMap;
@@ -159,6 +164,10 @@ fn tune(args: &[String]) -> ExitCode {
             .map_err(|_| "bad --seed".to_owned())?;
         let cluster = parse_cluster(&get("cluster", "h1.4xlarge:4"))?;
         let goal = parse_goal(&get("goal", "min-runtime"))?;
+        let chaos: Option<u64> = match flags.get("chaos") {
+            None => None,
+            Some(s) => Some(s.parse().map_err(|_| "bad --chaos (seed)".to_owned())?),
+        };
 
         let job = workload.job(scale);
         println!(
@@ -173,9 +182,32 @@ fn tune(args: &[String]) -> ExitCode {
         let inner = DiscObjective::new(cluster, job, &SimEnvironment::dedicated(seed));
         let mut objective = GoalObjective::new(inner, goal);
         let mut session = TuningSession::new(tuner, seed ^ 0x5EED);
+        if let Some(chaos_seed) = chaos {
+            println!("chaos: injecting faults with seed {chaos_seed}");
+            session.with_resilience(
+                RetryPolicy::default(),
+                FaultInjector::new(chaos_seed, FaultPlan::chaos()),
+            );
+        }
         // batch == 1 is the sequential loop; larger batches propose and
         // evaluate whole rounds at once.
         let outcome = session.run_batched(&mut objective, budget, batch);
+
+        if let Some(d) = &outcome.degradation {
+            println!(
+                "resilience: {} ok, {} failed, {} timed out, {} retries, {} quarantined{}",
+                d.completed,
+                d.failed,
+                d.timed_out,
+                d.retries,
+                d.quarantined,
+                if d.budget_exhausted {
+                    " (failure budget exhausted — partial result)"
+                } else {
+                    ""
+                }
+            );
+        }
 
         match &outcome.best {
             None => println!("no configuration survived — every execution crashed"),

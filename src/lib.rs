@@ -51,10 +51,10 @@ pub mod prelude {
     };
     pub use seamless_core::service::ServiceConfig;
     pub use seamless_core::{
-        CloudObjective, DiscObjective, GoalObjective, HistoryStore, JointObjective,
-        ManagedWorkload, Objective, Observation, RetuneMonitor, RetunePolicy, SeamlessTuner,
-        SimEnvironment, Tuner, TunerKind, TuningGoal, TuningOutcome, TuningSession,
-        WorkloadSignature,
+        CloudObjective, DiscObjective, FaultInjector, FaultPlan, GoalObjective, HistoryStore,
+        JointObjective, ManagedWorkload, Objective, Observation, RetryPolicy, RetuneMonitor,
+        RetunePolicy, SeamlessTuner, SimEnvironment, Tuner, TunerKind, TuningGoal, TuningOutcome,
+        TuningSession, WorkloadSignature,
     };
     pub use simcluster::catalog::InstanceType;
     pub use simcluster::cluster::ClusterSpec;

@@ -128,6 +128,95 @@ proptest! {
         }
     }
 
+    /// The un-jittered backoff schedule is monotone non-decreasing and
+    /// never exceeds its cap, for any (finite, sane) policy parameters.
+    #[test]
+    fn retry_backoff_is_monotone_and_capped(
+        base in 0.0f64..10.0,
+        mult in 0.5f64..8.0,
+        cap in 0.0f64..60.0,
+        attempts in 1u32..12,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_backoff_s: base,
+            backoff_multiplier: mult,
+            max_backoff_s: cap,
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut prev = 0.0;
+        for k in 0..attempts {
+            let b = policy.backoff_s(k);
+            prop_assert!(b.is_finite());
+            prop_assert!(b >= prev, "backoff decreased: {prev} -> {b} at attempt {k}");
+            prop_assert!(b <= cap + 1e-12, "backoff {b} exceeds cap {cap}");
+            prev = b;
+        }
+    }
+
+    /// Cumulative backoff across a trial's whole retry schedule never
+    /// exceeds the per-trial deadline, whatever the policy and seed.
+    #[test]
+    fn retry_schedule_respects_the_deadline(
+        base in 0.0f64..10.0,
+        mult in 1.0f64..4.0,
+        cap in 0.0f64..60.0,
+        jitter in 0.0f64..1.0,
+        deadline in 0.0f64..120.0,
+        attempts in 1u32..16,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_backoff_s: base,
+            backoff_multiplier: mult,
+            max_backoff_s: cap,
+            jitter_frac: jitter,
+            trial_deadline_s: deadline,
+            ..RetryPolicy::default()
+        };
+        let schedule = policy.schedule(seed);
+        prop_assert!(schedule.len() < attempts as usize || attempts == 0);
+        let total: f64 = schedule.iter().sum();
+        prop_assert!(
+            total <= deadline,
+            "cumulative backoff {total} exceeds deadline {deadline}"
+        );
+        for b in &schedule {
+            prop_assert!(b.is_finite() && *b >= 0.0);
+        }
+    }
+
+    /// Jittered backoff is deterministic in `(policy, attempt, seed)` —
+    /// the same seed replays the same waits — bounded by the configured
+    /// jitter fraction, and different seeds actually perturb it.
+    #[test]
+    fn retry_jitter_is_reproducible_from_the_seed(
+        jitter in 0.01f64..1.0,
+        attempt in 0u32..8,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            base_backoff_s: 1.0,
+            backoff_multiplier: 1.0,
+            max_backoff_s: 1.0,
+            jitter_frac: jitter,
+            ..RetryPolicy::default()
+        };
+        let a = policy.jittered_backoff_s(attempt, seed);
+        let b = policy.jittered_backoff_s(attempt, seed);
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "same seed, same jitter");
+        let bare = policy.backoff_s(attempt);
+        prop_assert!(a >= bare && a <= bare * (1.0 + jitter) + 1e-12,
+            "jittered {a} outside [{bare}, {}]", bare * (1.0 + jitter));
+        // Some other seed must land elsewhere (jitter is not a constant).
+        let moved = (0..16u64).any(|d| {
+            policy.jittered_backoff_s(attempt, seed ^ (d + 1)).to_bits() != a.to_bits()
+        });
+        prop_assert!(moved, "jitter ignores the seed");
+    }
+
     /// Observations fed to a tuner never produce an invalid proposal.
     #[test]
     fn tuner_proposals_are_always_valid(seed in any::<u64>(), kind_idx in 0usize..11) {
