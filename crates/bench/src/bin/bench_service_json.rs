@@ -22,6 +22,11 @@
 //!   executor with a 5% injected trial-error rate vs the no-fault
 //!   resilient path: wall-clock overhead plus the retry/failure
 //!   counters the obs registry accumulated during the faulty run.
+//! * `telemetry` — the same single-tenant batch-8 tune three ways:
+//!   no sink installed (the relaxed-load disabled fast path), the
+//!   flight recorder behind 1-in-8 head sampling, and the full
+//!   unsampled flight recorder — the wall-clock price of live
+//!   telemetry, plus the kept/skipped event counts that justify it.
 //!
 //! Run with: `cargo run --release -p bench --bin bench_service_json`
 
@@ -80,6 +85,26 @@ struct ResilienceReport {
 }
 
 #[derive(Debug, Serialize)]
+struct TelemetryReport {
+    /// One batch-8 tune with no sink installed: every emission site is
+    /// a single relaxed atomic load.
+    disabled_tune_s: f64,
+    /// The same tune with the flight recorder behind 1-in-N head
+    /// sampling (anomalies and counters always kept).
+    sample_one_in: u64,
+    sampled_tune_s: f64,
+    sampled_overhead_frac: f64,
+    /// Events the sampling decision forwarded vs dropped per tune.
+    sampled_events_kept: u64,
+    sampled_events_skipped: u64,
+    /// The same tune with the full, unsampled flight recorder.
+    full_tune_s: f64,
+    full_overhead_frac: f64,
+    /// Events one tune pushes into the recorder rings when unsampled.
+    full_events_per_tune: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     threads: usize,
     tuner: String,
@@ -88,6 +113,7 @@ struct BenchReport {
     single_tenant: Vec<BatchReport>,
     multi_tenant: MultiTenantReport,
     resilience: ResilienceReport,
+    telemetry: TelemetryReport,
 }
 
 fn service(batch: usize) -> SeamlessTuner {
@@ -259,6 +285,70 @@ fn main() {
         faulty_tune_s * 1e3,
     );
 
+    // Part 4: live-telemetry overhead. The identical batch-8 tune with
+    // telemetry disabled, through a 1-in-8 sampled flight recorder,
+    // and through the full recorder. The recorder never dumps here, so
+    // this prices the rings, not file I/O. A tune is ~3 ms, inside
+    // this container's bursty scheduling noise, so the three modes are
+    // *interleaved* within each repetition — a noise spike hits all of
+    // them, not whichever mode happened to be running.
+    const SAMPLE_ONE_IN: u64 = 8;
+    const TELEMETRY_REPS: usize = 25;
+    let r = &reqs[0];
+    let sampled_recorder =
+        obs::FlightRecorder::new(16_384, std::env::temp_dir().join("bench_flight"));
+    let sampler = obs::SamplingSink::new(
+        std::sync::Arc::clone(&sampled_recorder) as std::sync::Arc<dyn obs::Sink>,
+        obs::SamplePolicy::one_in(SAMPLE_ONE_IN),
+    );
+    let full_recorder = obs::FlightRecorder::new(16_384, std::env::temp_dir().join("bench_flight"));
+    let timed_tune = || {
+        let svc = service(8);
+        let t = Instant::now();
+        let _ = svc.tune(&r.client, &r.workload, &r.job, r.seed);
+        t.elapsed().as_secs_f64()
+    };
+    let mut disabled_samples = Vec::new();
+    let mut sampled_samples = Vec::new();
+    let mut full_samples = Vec::new();
+    for rep in 0..=TELEMETRY_REPS {
+        let disabled = timed_tune();
+        obs::install(std::sync::Arc::clone(&sampler) as std::sync::Arc<dyn obs::Sink>);
+        let sampled = timed_tune();
+        obs::uninstall_all();
+        obs::install(std::sync::Arc::clone(&full_recorder) as std::sync::Arc<dyn obs::Sink>);
+        let full = timed_tune();
+        obs::uninstall_all();
+        if rep > 0 {
+            // rep 0 is the warm-up
+            disabled_samples.push(disabled);
+            sampled_samples.push(sampled);
+            full_samples.push(full);
+        }
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let disabled_tune_s = median(disabled_samples);
+    let sampled_tune_s = median(sampled_samples);
+    let full_tune_s = median(full_samples);
+    let telemetry_runs = (TELEMETRY_REPS + 1) as u64;
+    let sampled_events_kept = sampler.kept() / telemetry_runs;
+    let sampled_events_skipped = sampler.skipped() / telemetry_runs;
+    let full_events_per_tune = full_recorder.snapshot().len() as u64 / telemetry_runs;
+
+    let sampled_overhead_frac = sampled_tune_s / disabled_tune_s - 1.0;
+    let full_overhead_frac = full_tune_s / disabled_tune_s - 1.0;
+    println!(
+        "telemetry: disabled {:8.1}ms  sampled(1-in-{SAMPLE_ONE_IN}) {:8.1}ms ({:+.1}%)  full {:8.1}ms ({:+.1}%)",
+        disabled_tune_s * 1e3,
+        sampled_tune_s * 1e3,
+        sampled_overhead_frac * 100.0,
+        full_tune_s * 1e3,
+        full_overhead_frac * 100.0,
+    );
+
     let report = BenchReport {
         threads,
         tuner: "bayesopt".to_owned(),
@@ -280,6 +370,17 @@ fn main() {
             retries,
             failed_trials,
             degraded_sessions,
+        },
+        telemetry: TelemetryReport {
+            disabled_tune_s,
+            sample_one_in: SAMPLE_ONE_IN,
+            sampled_tune_s,
+            sampled_overhead_frac,
+            sampled_events_kept,
+            sampled_events_skipped,
+            full_tune_s,
+            full_overhead_frac,
+            full_events_per_tune,
         },
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");

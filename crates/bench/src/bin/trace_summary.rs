@@ -1,14 +1,21 @@
-//! **trace_summary** — replays a structured JSONL trace (written by an
-//! [`obs::JsonlSink`]) into a human-readable latency/cost breakdown.
+//! **trace_summary** — replays a structured trace into a human-readable
+//! latency/cost breakdown.
 //!
-//! For every span name it reports call count, total/mean/min/max/p95
-//! wall time and the share of the root span's duration; counter samples
-//! and instant events are listed after the latency table.
+//! Accepts either a JSONL trace (written by an [`obs::JsonlSink`]) or a
+//! Chrome trace-event JSON file (written by [`obs::write_chrome_trace`]
+//! or the flight recorder's `flight_NNN_<reason>.json` dumps) — the
+//! format is sniffed from the document head. For every span name it
+//! reports call count, total/mean/min/max/p95 wall time, *self* time
+//! (exclusive of child spans), and the share of the trace's wall
+//! clock; a second table ranks spans by self time, so the hot leaf is
+//! visible even when a parent span dominates the totals. Counter
+//! samples and instant events are listed after the latency tables.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release -p bench --bin trace_summary -- trace.jsonl
+//! cargo run --release -p bench --bin trace_summary -- flight_000_quarantine.json
 //! cargo run --release -p bench --bin trace_summary -- --demo
 //! ```
 //!
@@ -23,6 +30,10 @@ use std::sync::Arc;
 
 use obs::{Event, EventKind};
 
+/// Rows shown per latency table; deeper traces are truncated (and say
+/// so) — the point of the summary is the head, not the tail.
+const TOP_K: usize = 15;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = match args.first().map(String::as_str) {
@@ -35,12 +46,12 @@ fn main() -> ExitCode {
         },
         Some(p) => p.to_owned(),
         None => {
-            eprintln!("usage: trace_summary <trace.jsonl> | --demo");
+            eprintln!("usage: trace_summary <trace.jsonl|chrome_trace.json> | --demo");
             return ExitCode::FAILURE;
         }
     };
 
-    let events = match obs::read_jsonl_file(&path) {
+    let events = match read_trace(&path) {
         Ok(ev) => ev,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
@@ -53,15 +64,36 @@ fn main() -> ExitCode {
     }
     println!("# Trace summary: {path} ({} events)", events.len());
     print_span_table(&events);
+    print_self_time_table(&events);
     print_counters(&events);
     print_instants(&events);
     ExitCode::SUCCESS
+}
+
+/// Reads a trace file in either supported format. Both start with
+/// `{`, so the sniff keys on the Chrome trace document's mandatory
+/// top-level `"traceEvents"` key; everything else is treated as JSONL
+/// (one event object per line).
+fn read_trace(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let head: String = text
+        .trim_start()
+        .chars()
+        .take(64)
+        .filter(|c| c != &' ')
+        .collect();
+    if head.starts_with("{\"traceEvents\"") {
+        obs::parse_chrome_trace(&text)
+    } else {
+        obs::parse_jsonl(&text)
+    }
 }
 
 /// Per-span-name latency aggregate over `SpanEnd` durations.
 #[derive(Default)]
 struct SpanAgg {
     durs_ns: Vec<u64>,
+    self_ns: u64,
 }
 
 impl SpanAgg {
@@ -79,8 +111,14 @@ impl SpanAgg {
     }
 }
 
+/// Aggregates `SpanEnd` events by name, attributing to each span its
+/// *self* time: its duration minus the summed durations of its direct
+/// children (clamped at 0 — concurrent children can overlap a parent).
 fn span_durations(events: &[Event]) -> BTreeMap<String, SpanAgg> {
-    let mut by_name: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    // First pass: each completed span instance and its duration.
+    let mut instances: BTreeMap<u64, (&str, u64)> = BTreeMap::new();
+    // Sum of direct children's durations per parent span id.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
     for e in events {
         if e.kind != EventKind::SpanEnd {
             continue;
@@ -88,9 +126,27 @@ fn span_durations(events: &[Event]) -> BTreeMap<String, SpanAgg> {
         let Some(dur) = e.field("dur_ns").and_then(|f| f.as_u64()) else {
             continue;
         };
-        by_name.entry(e.name.clone()).or_default().durs_ns.push(dur);
+        if e.span_id != 0 {
+            instances.insert(e.span_id, (e.name.as_str(), dur));
+        }
+        if e.parent_id != 0 {
+            *child_ns.entry(e.parent_id).or_default() += dur;
+        }
+    }
+    let mut by_name: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for (span_id, (name, dur)) in &instances {
+        let agg = by_name.entry((*name).to_string()).or_default();
+        agg.durs_ns.push(*dur);
+        let children = child_ns.get(span_id).copied().unwrap_or(0);
+        agg.self_ns += dur.saturating_sub(children);
     }
     by_name
+}
+
+fn trace_wall_ns(events: &[Event]) -> u64 {
+    let first = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    let last = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+    (last - first).max(1)
 }
 
 fn print_span_table(events: &[Event]) {
@@ -99,35 +155,54 @@ fn print_span_table(events: &[Event]) {
         println!("\n(no completed spans)");
         return;
     }
-    // Wall clock covered by the trace: first to last timestamp.
-    let first = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
-    let last = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
-    let wall = (last - first).max(1);
+    let wall = trace_wall_ns(events);
+    let total_names = by_name.len();
 
-    let mut rows: Vec<(String, usize, u64, u64, u64, u64, u64)> = by_name
+    struct Row {
+        name: String,
+        n: usize,
+        total: u64,
+        self_ns: u64,
+        mean: u64,
+        min: u64,
+        max: u64,
+        p95: u64,
+    }
+    let mut rows: Vec<Row> = by_name
         .iter_mut()
         .map(|(name, agg)| {
             let n = agg.durs_ns.len();
             let total = agg.total();
-            let mean = total / n as u64;
-            let min = *agg.durs_ns.iter().min().unwrap_or(&0);
-            let max = *agg.durs_ns.iter().max().unwrap_or(&0);
-            let p95 = agg.quantile(0.95);
-            (name.clone(), n, total, mean, min, max, p95)
+            Row {
+                name: name.clone(),
+                n,
+                total,
+                self_ns: agg.self_ns,
+                mean: total / n as u64,
+                min: *agg.durs_ns.iter().min().unwrap_or(&0),
+                max: *agg.durs_ns.iter().max().unwrap_or(&0),
+                p95: agg.quantile(0.95),
+            }
         })
         .collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.2)); // heaviest first
+    rows.sort_by_key(|r| std::cmp::Reverse(r.total)); // heaviest total first
+    rows.truncate(TOP_K);
 
     println!(
-        "\n## Span latency (heaviest first; wall = {})",
+        "\n## Span latency by total time ({}; wall = {})",
+        if total_names > TOP_K {
+            format!("top {TOP_K} of {total_names}")
+        } else {
+            "heaviest first".to_string()
+        },
         fmt_ns(wall)
     );
     println!(
-        "| {:<18} | {:>6} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>6} |",
-        "span", "count", "total", "mean", "min", "max", "p95", "%wall"
+        "| {:<18} | {:>6} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>6} |",
+        "span", "count", "total", "self", "mean", "min", "max", "p95", "%wall"
     );
     println!(
-        "|{}|{}|{}|{}|{}|{}|{}|{}|",
+        "|{}|{}|{}|{}|{}|{}|{}|{}|{}|",
         "-".repeat(20),
         "-".repeat(8),
         "-".repeat(12),
@@ -135,19 +210,65 @@ fn print_span_table(events: &[Event]) {
         "-".repeat(12),
         "-".repeat(12),
         "-".repeat(12),
+        "-".repeat(12),
         "-".repeat(8)
     );
-    for (name, n, total, mean, min, max, p95) in rows {
+    for r in rows {
         println!(
-            "| {:<18} | {:>6} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>5.1}% |",
+            "| {:<18} | {:>6} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} | {:>5.1}% |",
+            r.name,
+            r.n,
+            fmt_ns(r.total),
+            fmt_ns(r.self_ns),
+            fmt_ns(r.mean),
+            fmt_ns(r.min),
+            fmt_ns(r.max),
+            fmt_ns(r.p95),
+            100.0 * r.total as f64 / wall as f64
+        );
+    }
+}
+
+fn print_self_time_table(events: &[Event]) {
+    let by_name = span_durations(events);
+    if by_name.is_empty() {
+        return;
+    }
+    let wall = trace_wall_ns(events);
+    let total_names = by_name.len();
+    let mut rows: Vec<(String, usize, u64)> = by_name
+        .into_iter()
+        .map(|(name, agg)| (name, agg.durs_ns.len(), agg.self_ns))
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.2));
+    rows.truncate(TOP_K);
+
+    println!(
+        "\n## Span self time (exclusive of children; {})",
+        if total_names > TOP_K {
+            format!("top {TOP_K} of {total_names}")
+        } else {
+            "hottest first".to_string()
+        }
+    );
+    println!(
+        "| {:<18} | {:>6} | {:>10} | {:>6} |",
+        "span", "count", "self", "%wall"
+    );
+    println!(
+        "|{}|{}|{}|{}|",
+        "-".repeat(20),
+        "-".repeat(8),
+        "-".repeat(12),
+        "-".repeat(8)
+    );
+    for (name, n, self_ns) in rows {
+        println!(
+            "| {:<18} | {:>6} | {:>10} | {:>5.1}% |",
             name,
             n,
-            fmt_ns(total),
-            fmt_ns(mean),
-            fmt_ns(min),
-            fmt_ns(max),
-            fmt_ns(p95),
-            100.0 * total as f64 / wall as f64
+            fmt_ns(self_ns),
+            100.0 * self_ns as f64 / wall as f64
         );
     }
 }

@@ -523,6 +523,10 @@ impl TrialExecutor {
                         && self.quarantined.insert(key)
                     {
                         reg.counter("executor.quarantined").inc();
+                        // A config just crossed the strike threshold —
+                        // capture the events leading up to it while
+                        // they are still in the rings.
+                        obs::flightrec::trigger_dump("quarantine");
                     }
                 }
             }

@@ -57,7 +57,7 @@ pub use objective::{
 pub use retune::{RetuneMonitor, RetunePolicy};
 pub use sensitivity::{additive_effects, permutation_importance, SensitivityReport};
 pub use service::{ManagedWorkload, SeamlessTuner, ServiceConfig, ServiceOutcome, TenantRequest};
-pub use slo::{AmortizationLedger, SloReport};
+pub use slo::{AmortizationLedger, SloReport, SloTracker, TenantSloStats};
 pub use transfer::{ClusterIndex, ClusteredHistory, TransferTuner};
 pub use tuner::{Tuner, TunerKind, TuningOutcome, TuningSession};
 pub use whatif::JobProfile;

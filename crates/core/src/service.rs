@@ -24,7 +24,7 @@ use crate::faults::FaultInjector;
 use crate::history::{ExecutionRecord, HistoryStore, RecordOutcome};
 use crate::objective::{CloudObjective, DiscObjective, Objective, Observation, SimEnvironment};
 use crate::retune::{RetuneMonitor, RetunePolicy, RetuneReason};
-use crate::slo::AmortizationLedger;
+use crate::slo::{AmortizationLedger, SloReport, SloTracker};
 use crate::transfer::{donated_observations, TransferTuner};
 use crate::tuner::{TunerKind, TuningOutcome, TuningSession};
 
@@ -127,6 +127,10 @@ pub struct ServiceOutcome {
     pub used_transfer: bool,
     /// The workload's signature from the probe run.
     pub signature: WorkloadSignature,
+    /// Effectiveness of this tune (§IV-D/§V-C): tuned runtime against
+    /// the optimum proxy, the best similar tenant's runtime, and the
+    /// probe's house-default runtime.
+    pub slo: SloReport,
 }
 
 impl ServiceOutcome {
@@ -169,6 +173,7 @@ pub struct SeamlessTuner {
     env: SimEnvironment,
     config: ServiceConfig,
     cluster_index: crate::transfer::ClusterIndex,
+    slo: SloTracker,
 }
 
 impl SeamlessTuner {
@@ -181,7 +186,13 @@ impl SeamlessTuner {
             // 3 clusters once a dozen records exist — the same gate the
             // per-tune snapshot clustering used.
             cluster_index: crate::transfer::ClusterIndex::new(3, 12),
+            slo: SloTracker::default(),
         }
+    }
+
+    /// The service's continuous per-tenant SLO/cost accounting.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
     }
 
     /// The provider's conservative "house default" DISC configuration —
@@ -344,7 +355,16 @@ impl SeamlessTuner {
 
         if s1.is_degraded() || s2.is_degraded() {
             obs::registry().counter("service.degraded_sessions").inc();
+            // Post-mortem for the on-call: whatever the flight
+            // recorder still holds from this degraded session.
+            obs::flightrec::trigger_dump("degraded_session");
         }
+
+        // The §IV-D reference point must predate this tune's records:
+        // "the best runtime of similar workloads ever seen" means
+        // *other* tenants and earlier sessions, not the history we are
+        // about to insert.
+        let best_similar = self.store.best_similar_runtime(&signature, 5);
 
         // --- Record everything the provider witnessed. ---
         self.record(client, workload, &probe, &signature);
@@ -352,16 +372,37 @@ impl SeamlessTuner {
             self.record(client, workload, o, &signature);
         }
 
-        ServiceOutcome {
+        let best_runtime_s = s2.best_runtime_s();
+        let slo = SloReport {
+            tuned_runtime_s: best_runtime_s,
+            optimal_runtime_s: Some(match best_similar {
+                Some(b) => b.min(best_runtime_s),
+                None => best_runtime_s,
+            }),
+            best_similar_runtime_s: best_similar,
+            default_runtime_s: Some(probe.runtime_s),
+        };
+        let outcome = ServiceOutcome {
             cloud_config,
             cluster,
             disc_config,
-            best_runtime_s: s2.best_runtime_s(),
+            best_runtime_s,
             stage1: s1,
             stage2: s2,
             used_transfer,
             signature,
-        }
+            slo,
+        };
+
+        // Continuous accounting: fold this tune into the tenant's
+        // rolling SLO window and refresh the scrape-visible series.
+        // Read-only with respect to tuning decisions, so session
+        // results are bitwise-unchanged by its presence.
+        self.slo
+            .observe(client, &slo, &outcome.ledger(probe.cost_usd));
+        self.slo.publish(obs::registry());
+
+        outcome
     }
 
     /// Tunes many tenants concurrently over the shared (sharded)

@@ -7,6 +7,9 @@
 //! savings before re-tuning is needed. This module implements all
 //! three.
 
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 /// Effectiveness metrics for one tuned workload (§V-C's candidate
@@ -131,6 +134,185 @@ pub fn attainment_curve(reports: &[SloReport], thresholds: &[f64]) -> Vec<(f64, 
         .collect()
 }
 
+/// Rolling per-tenant SLO/cost statistics, as published to the
+/// metrics registry (and therefore the scrape endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantSloStats {
+    /// Tunes folded in so far (all time).
+    pub tunes: u64,
+    /// Tunes in the current window with an evaluable SLO verdict.
+    pub evaluable: u64,
+    /// Fraction of evaluable window tunes within the threshold of
+    /// optimal (1.0 while nothing is evaluable — no evidence of a
+    /// violation yet).
+    pub within_ratio: f64,
+    /// Fraction of the error budget left: `1 − burn_rate`. Negative
+    /// once the tenant has missed more than the target allows.
+    pub error_budget_remaining: f64,
+    /// Miss rate over the allowed miss rate (`1 − target`); 1.0 means
+    /// the budget is being consumed exactly as fast as it accrues.
+    pub burn_rate: f64,
+    /// Cumulative tuning spend (cents, all time).
+    pub cost_cents: f64,
+    /// Mean runs-to-break-even over the window's ledgers; `None` when
+    /// no window ledger ever pays off.
+    pub mean_runs_to_break_even: Option<f64>,
+}
+
+#[derive(Debug, Default)]
+struct TenantWindow {
+    /// Recent within-threshold verdicts (None = not evaluable).
+    verdicts: VecDeque<Option<bool>>,
+    /// Recent runs-to-break-even (None = never pays off).
+    break_even: VecDeque<Option<f64>>,
+    tunes: u64,
+    cost_usd_total: f64,
+    /// Whole cents already pushed to the registry counter, so repeated
+    /// publishes add only the delta (counters are monotonic).
+    cents_published: u64,
+}
+
+/// Continuous per-tenant SLO and cost accounting for the tuning
+/// service (§IV-D as a *live* objective, not a post-hoc report).
+///
+/// Each completed tune folds its [`SloReport`] + [`AmortizationLedger`]
+/// into a rolling window per tenant; [`SloTracker::publish`] pushes the
+/// derived gauges/counters into a metrics registry under
+/// [`obs::labeled`] keys, so an OpenMetrics scrape shows
+/// `slo_within_10pct_ratio{tenant=...}`,
+/// `slo_tuning_cost_cents_total{tenant=...}`,
+/// `slo_retune_amortization{tenant=...}`, the error budget, and the
+/// burn rate for every tenant.
+#[derive(Debug)]
+pub struct SloTracker {
+    window: usize,
+    /// The SLO threshold `x` in "within `x` of optimal" (§IV-D).
+    threshold: f64,
+    /// Target attainment (e.g. 0.9 = 90% of tunes within threshold).
+    target: f64,
+    tenants: Mutex<BTreeMap<String, TenantWindow>>,
+}
+
+impl Default for SloTracker {
+    /// 32-tune windows on the paper's "within 10% of optimal" SLO with
+    /// a 90% attainment target.
+    fn default() -> Self {
+        SloTracker::new(32, 0.10, 0.9)
+    }
+}
+
+impl SloTracker {
+    /// A tracker over `window`-tune rolling windows, judging each tune
+    /// as within `threshold` of optimal, against an attainment
+    /// `target` in `(0, 1)`.
+    pub fn new(window: usize, threshold: f64, target: f64) -> Self {
+        SloTracker {
+            window: window.max(1),
+            threshold,
+            target: target.clamp(0.0, 1.0 - 1e-9),
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The SLO threshold this tracker judges against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Folds one completed tune into `tenant`'s window and returns the
+    /// updated statistics.
+    pub fn observe(
+        &self,
+        tenant: &str,
+        report: &SloReport,
+        ledger: &AmortizationLedger,
+    ) -> TenantSloStats {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let w = tenants.entry(tenant.to_string()).or_default();
+        w.tunes += 1;
+        w.cost_usd_total += ledger.tuning_cost_usd;
+        w.verdicts
+            .push_back(report.within_of_optimal(self.threshold));
+        w.break_even.push_back(ledger.runs_to_break_even());
+        while w.verdicts.len() > self.window {
+            w.verdicts.pop_front();
+        }
+        while w.break_even.len() > self.window {
+            w.break_even.pop_front();
+        }
+        self.stats_of(w)
+    }
+
+    /// Current statistics for `tenant`, if it has been observed.
+    pub fn stats(&self, tenant: &str) -> Option<TenantSloStats> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants.get(tenant).map(|w| self.stats_of(w))
+    }
+
+    /// Tenants observed so far, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants.keys().cloned().collect()
+    }
+
+    fn stats_of(&self, w: &TenantWindow) -> TenantSloStats {
+        let evaluable: Vec<bool> = w.verdicts.iter().filter_map(|v| *v).collect();
+        let within_ratio = if evaluable.is_empty() {
+            1.0
+        } else {
+            evaluable.iter().filter(|&&b| b).count() as f64 / evaluable.len() as f64
+        };
+        let allowed_miss = 1.0 - self.target;
+        let burn_rate = (1.0 - within_ratio) / allowed_miss;
+        let paying: Vec<f64> = w.break_even.iter().filter_map(|b| *b).collect();
+        let mean_runs_to_break_even = if paying.is_empty() {
+            None
+        } else {
+            Some(paying.iter().sum::<f64>() / paying.len() as f64)
+        };
+        TenantSloStats {
+            tunes: w.tunes,
+            evaluable: evaluable.len() as u64,
+            within_ratio,
+            error_budget_remaining: 1.0 - burn_rate,
+            burn_rate,
+            cost_cents: w.cost_usd_total * 100.0,
+            mean_runs_to_break_even,
+        }
+    }
+
+    /// Publishes every tenant's statistics into `registry` under
+    /// per-tenant labeled keys. Gauges are overwritten; the cost
+    /// counter advances by the spend since the last publish.
+    pub fn publish(&self, registry: &obs::Registry) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        for (tenant, w) in tenants.iter_mut() {
+            let stats = self.stats_of(w);
+            let labels: &[(&str, &str)] = &[("tenant", tenant)];
+            registry
+                .gauge(&obs::labeled("slo.within_10pct_ratio", labels))
+                .set(stats.within_ratio);
+            registry
+                .gauge(&obs::labeled("slo.error_budget_remaining", labels))
+                .set(stats.error_budget_remaining);
+            registry
+                .gauge(&obs::labeled("slo.burn_rate", labels))
+                .set(stats.burn_rate);
+            registry
+                .gauge(&obs::labeled("slo.retune_amortization", labels))
+                .set(stats.mean_runs_to_break_even.unwrap_or(f64::INFINITY));
+            let cents_total = stats.cost_cents.max(0.0).round() as u64;
+            let delta = cents_total.saturating_sub(w.cents_published);
+            if delta > 0 {
+                registry
+                    .counter(&obs::labeled("slo.tuning_cost_cents", labels))
+                    .add(delta);
+                w.cents_published = cents_total;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +382,99 @@ mod tests {
         assert_eq!(curve[0], (0.05, 1.0 / 3.0));
         assert!((curve[1].1 - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(curve[2].1, 1.0);
+    }
+
+    fn ledger(tuning: f64, baseline: f64, tuned: f64) -> AmortizationLedger {
+        AmortizationLedger {
+            tuning_cost_usd: tuning,
+            baseline_run_cost_usd: baseline,
+            tuned_run_cost_usd: tuned,
+        }
+    }
+
+    #[test]
+    fn tracker_rolls_windows_and_accumulates_cost() {
+        let tracker = SloTracker::new(4, 0.10, 0.9);
+        // Three hits, one miss → 75% within, all in one 4-tune window.
+        for tuned in [100.0, 105.0, 109.0, 150.0] {
+            tracker.observe("alice", &report(tuned, 100.0), &ledger(2.0, 1.0, 0.5));
+        }
+        let stats = tracker.stats("alice").unwrap();
+        assert_eq!(stats.tunes, 4);
+        assert_eq!(stats.evaluable, 4);
+        assert!((stats.within_ratio - 0.75).abs() < 1e-9);
+        // Miss rate 0.25 against an allowed 0.10 → burn rate 2.5.
+        assert!((stats.burn_rate - 2.5).abs() < 1e-9);
+        assert!((stats.error_budget_remaining - (1.0 - 2.5)).abs() < 1e-9);
+        assert!((stats.cost_cents - 800.0).abs() < 1e-9);
+        assert!((stats.mean_runs_to_break_even.unwrap() - 4.0).abs() < 1e-9);
+
+        // Four more hits push the miss out of the window entirely.
+        for _ in 0..4 {
+            tracker.observe("alice", &report(100.0, 100.0), &ledger(2.0, 1.0, 0.5));
+        }
+        let stats = tracker.stats("alice").unwrap();
+        assert_eq!(stats.tunes, 8);
+        assert_eq!(stats.within_ratio, 1.0);
+        assert_eq!(stats.burn_rate, 0.0);
+        assert!((stats.cost_cents - 1600.0).abs() < 1e-9, "cost is all-time");
+    }
+
+    #[test]
+    fn tracker_with_no_evaluable_verdicts_reports_clean() {
+        let tracker = SloTracker::default();
+        let blind = SloReport {
+            tuned_runtime_s: 50.0,
+            optimal_runtime_s: None,
+            best_similar_runtime_s: None,
+            default_runtime_s: None,
+        };
+        let stats = tracker.observe("bob", &blind, &ledger(1.0, 1.0, 2.0));
+        assert_eq!(stats.evaluable, 0);
+        assert_eq!(stats.within_ratio, 1.0);
+        assert_eq!(stats.burn_rate, 0.0);
+        assert_eq!(stats.mean_runs_to_break_even, None);
+    }
+
+    #[test]
+    fn tracker_publishes_labeled_series() {
+        let reg = obs::Registry::new();
+        let tracker = SloTracker::new(8, 0.10, 0.9);
+        tracker.observe("alice", &report(100.0, 100.0), &ledger(2.0, 1.0, 0.5));
+        tracker.observe("bob", &report(150.0, 100.0), &ledger(3.0, 1.0, 2.0));
+        tracker.publish(&reg);
+        tracker.publish(&reg); // idempotent for counters (no new spend)
+
+        let snap = reg.snapshot();
+        let gauge = |key: &str| {
+            snap.gauges
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing gauge {key}"))
+        };
+        assert_eq!(gauge("slo.within_10pct_ratio{tenant=\"alice\"}"), 1.0);
+        assert_eq!(gauge("slo.within_10pct_ratio{tenant=\"bob\"}"), 0.0);
+        assert_eq!(
+            gauge("slo.retune_amortization{tenant=\"bob\"}"),
+            f64::INFINITY,
+            "a ledger that never pays off publishes +Inf"
+        );
+        let cents: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("slo.tuning_cost_cents"))
+            .collect();
+        assert_eq!(cents.len(), 2);
+        assert!(cents.iter().any(|(k, v)| k.contains("alice") && *v == 200));
+        assert!(cents.iter().any(|(k, v)| k.contains("bob") && *v == 300));
+
+        // And the OpenMetrics rendering carries the tenant labels.
+        let text = obs::openmetrics::render(&snap);
+        assert!(
+            text.contains("slo_within_10pct_ratio{tenant=\"alice\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("slo_tuning_cost_cents_total{tenant=\"bob\"} 300"));
     }
 }

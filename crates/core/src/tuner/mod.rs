@@ -487,6 +487,10 @@ impl TuningSession {
             if self.resilient && round_failures > self.policy.round_failure_budget {
                 report.budget_exhausted = true;
                 reg.counter("session.budget_exhausted").inc();
+                // The session is about to return a partial outcome;
+                // dump the flight recorder while the failing round's
+                // events are still buffered.
+                obs::flightrec::trigger_dump("budget_exhausted");
                 break;
             }
         }

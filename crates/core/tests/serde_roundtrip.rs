@@ -97,8 +97,7 @@ fn legacy_service_config_without_resilience_fields_still_parses() {
         .into_iter()
         .filter(|(k, _)| k != "retry" && k != "chaos")
         .collect();
-    let legacy_json =
-        serde_json::to_string(&serde::Value::Object(legacy)).expect("serializes");
+    let legacy_json = serde_json::to_string(&serde::Value::Object(legacy)).expect("serializes");
     let back: ServiceConfig = serde_json::from_str(&legacy_json).expect("legacy config parses");
     assert_eq!(back, ServiceConfig::default());
     assert!(!back.is_resilient());

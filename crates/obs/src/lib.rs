@@ -18,6 +18,18 @@
 //!   Chrome trace-event JSON for `chrome://tracing` / Perfetto, and
 //!   JSONL replay for offline analysis (`trace_summary`).
 //!
+//! Live telemetry on top (PR 5):
+//!
+//! * **OpenMetrics exposition** ([`openmetrics`]) rendered from the
+//!   registry and served by [`MetricsServer`], a zero-dep std-TCP
+//!   scrape endpoint (`stune --metrics-addr`).
+//! * **Flight recorder** ([`flightrec`]) — per-thread rings of recent
+//!   events dumped as a Chrome trace on degradation / quarantine /
+//!   budget exhaustion ([`flightrec::trigger_dump`]).
+//! * **Head-based sampling** ([`SamplingSink`]) — 1-in-N spans with
+//!   anomalies always kept, so tracing stays affordable under
+//!   multi-tenant load.
+//!
 //! # Example
 //!
 //! ```
@@ -33,8 +45,12 @@
 //! ```
 
 pub mod event;
+pub mod flightrec;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
+pub mod sample;
+pub mod serve;
 pub mod sink;
 pub mod trace;
 
@@ -42,10 +58,16 @@ pub use event::{
     counter_sample, current_span_id, current_tid, instant, now_ns, span, Event, EventKind,
     FieldValue, SpanGuard,
 };
+pub use flightrec::FlightRecorder;
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
 };
+pub use openmetrics::labeled;
+pub use sample::{SamplePolicy, SamplingSink};
+pub use serve::MetricsServer;
 pub use sink::{
     flush_all, install, is_enabled, uninstall_all, CountingSink, JsonlSink, MemorySink, Sink,
 };
-pub use trace::{chrome_trace, parse_jsonl, read_jsonl, read_jsonl_file, write_chrome_trace};
+pub use trace::{
+    chrome_trace, parse_chrome_trace, parse_jsonl, read_jsonl, read_jsonl_file, write_chrome_trace,
+};

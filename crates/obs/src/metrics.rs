@@ -138,6 +138,17 @@ impl Histogram {
         out
     }
 
+    /// Exclusive upper bound (ns) of bucket `idx`: values in bucket
+    /// `idx` satisfy `2^idx <= v < 2^(idx+1)` (the last bucket is
+    /// unbounded).
+    pub fn bucket_upper_ns(idx: usize) -> u64 {
+        if idx >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << (idx + 1)
+        }
+    }
+
     /// A consistent point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.inner;
@@ -171,6 +182,7 @@ impl Histogram {
             p50_ns: quantile(0.50),
             p95_ns: quantile(0.95),
             p99_ns: quantile(0.99),
+            buckets: counts,
         }
     }
 }
@@ -193,6 +205,9 @@ pub struct HistogramSnapshot {
     pub p95_ns: f64,
     /// Estimated 99th percentile (ns).
     pub p99_ns: f64,
+    /// Raw per-bucket counts (power-of-two bounds; bucket `i` covers
+    /// `[2^i, 2^(i+1))` ns — see [`Histogram::bucket_upper_ns`]).
+    pub buckets: Vec<u64>,
 }
 
 impl HistogramSnapshot {

@@ -1,0 +1,238 @@
+//! Head-based trace sampling.
+//!
+//! Under multi-tenant `tune_many` load a full trace is tens of
+//! thousands of spans per tuning session; most of them describe
+//! healthy, repetitive work. [`SamplingSink`] wraps any inner
+//! [`Sink`] and forwards only 1-in-N spans — decided *at the head*
+//! from the span id, so a span's start and end always travel
+//! together — while anomalies (failed/censored trials, quarantine,
+//! degradation, budget exhaustion) are always kept, as are counter
+//! samples (they are already cheap and aggregate poorly when thinned).
+//!
+//! ```
+//! let inner = obs::MemorySink::new(4096);
+//! obs::install(obs::SamplingSink::new(
+//!     inner.clone(),
+//!     obs::SamplePolicy::one_in(8),
+//! ));
+//! // ... traced work ...
+//! obs::uninstall_all();
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::{Event, EventKind, FieldValue};
+use crate::sink::Sink;
+
+/// Name substrings that mark an event as an anomaly regardless of the
+/// sampling rate.
+const ANOMALY_NAMES: [&str; 6] = [
+    "fail",
+    "timeout",
+    "quarantin",
+    "degraded",
+    "budget_exhausted",
+    "flight",
+];
+
+/// Head-based sampling decision: which events to keep.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePolicy {
+    /// Keep one span in this many (1 = keep everything).
+    pub one_in: u64,
+}
+
+impl SamplePolicy {
+    /// Keeps one span in `n` (clamped to at least 1).
+    pub fn one_in(n: u64) -> Self {
+        SamplePolicy { one_in: n.max(1) }
+    }
+
+    /// Keeps everything.
+    pub fn keep_all() -> Self {
+        SamplePolicy::one_in(1)
+    }
+
+    /// Whether an event survives sampling.
+    ///
+    /// Spans are decided by `span_id % one_in` so both halves of a
+    /// span agree; instants follow their enclosing span (root instants
+    /// are kept — they are rare and usually deliberate markers);
+    /// counters and anomalies are always kept.
+    pub fn keep(&self, event: &Event) -> bool {
+        if self.one_in <= 1 || event.kind == EventKind::Counter || is_anomaly(event) {
+            return true;
+        }
+        let deciding_id = match event.kind {
+            EventKind::SpanStart | EventKind::SpanEnd => event.span_id,
+            _ => event.parent_id,
+        };
+        if deciding_id == 0 {
+            return true;
+        }
+        deciding_id % self.one_in == 0
+    }
+}
+
+/// Whether an event must bypass sampling: explicit failure fields
+/// (`ok=false`, an `error`/`censored` marker) or a name naming a
+/// failure-path mechanism.
+pub fn is_anomaly(event: &Event) -> bool {
+    for (k, v) in &event.fields {
+        match (k.as_str(), v) {
+            ("ok", FieldValue::Bool(false)) => return true,
+            ("censored", FieldValue::Bool(true)) => return true,
+            ("error", _) => return true,
+            _ => {}
+        }
+    }
+    ANOMALY_NAMES.iter().any(|m| event.name.contains(m))
+}
+
+/// A [`Sink`] decorator applying a [`SamplePolicy`] before its inner
+/// sink sees the event.
+pub struct SamplingSink {
+    inner: Arc<dyn Sink>,
+    policy: SamplePolicy,
+    kept: AtomicU64,
+    skipped: AtomicU64,
+}
+
+impl SamplingSink {
+    /// Wraps `inner`, forwarding only events `policy` keeps.
+    pub fn new(inner: Arc<dyn Sink>, policy: SamplePolicy) -> Arc<Self> {
+        Arc::new(SamplingSink {
+            inner,
+            policy,
+            kept: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+        })
+    }
+
+    /// Events forwarded to the inner sink.
+    pub fn kept(&self) -> u64 {
+        self.kept.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped by the sampling decision.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for SamplingSink {
+    fn accept(&self, event: &Event) {
+        if self.policy.keep(event) {
+            self.kept.fetch_add(1, Ordering::Relaxed);
+            self.inner.accept(event);
+        } else {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    fn span_pair(id: u64, name: &str) -> [Event; 2] {
+        [
+            Event {
+                ts_ns: 1,
+                tid: 1,
+                kind: EventKind::SpanStart,
+                name: name.to_string(),
+                span_id: id,
+                parent_id: 0,
+                fields: vec![],
+            },
+            Event {
+                ts_ns: 2,
+                tid: 1,
+                kind: EventKind::SpanEnd,
+                name: name.to_string(),
+                span_id: id,
+                parent_id: 0,
+                fields: vec![("dur_ns".to_string(), FieldValue::U64(1))],
+            },
+        ]
+    }
+
+    #[test]
+    fn start_and_end_agree() {
+        let policy = SamplePolicy::one_in(4);
+        for id in 1..64u64 {
+            let [start, end] = span_pair(id, "work");
+            assert_eq!(policy.keep(&start), policy.keep(&end), "span {id}");
+        }
+    }
+
+    #[test]
+    fn one_in_n_keeps_roughly_a_fraction() {
+        let sink = MemorySink::new(10_000);
+        let sampler = SamplingSink::new(sink.clone(), SamplePolicy::one_in(10));
+        for id in 1..=1000u64 {
+            for e in span_pair(id, "trial") {
+                sampler.accept(&e);
+            }
+        }
+        assert_eq!(sampler.kept(), 200); // 100 spans × 2 events
+        assert_eq!(sampler.skipped(), 1800);
+    }
+
+    #[test]
+    fn anomalies_bypass_sampling() {
+        let policy = SamplePolicy::one_in(1_000_000);
+        let [_, mut end] = span_pair(3, "trial");
+        end.fields.push(("ok".to_string(), FieldValue::Bool(false)));
+        assert!(policy.keep(&end));
+
+        let [start, _] = span_pair(7, "trial_failure");
+        assert!(policy.keep(&start));
+
+        let [start, _] = span_pair(7, "quarantine_sweep");
+        assert!(policy.keep(&start));
+
+        let censored = Event {
+            ts_ns: 1,
+            tid: 1,
+            kind: EventKind::Instant,
+            name: "trial_done".to_string(),
+            span_id: 0,
+            parent_id: 9,
+            fields: vec![("censored".to_string(), FieldValue::Bool(true))],
+        };
+        assert!(policy.keep(&censored));
+    }
+
+    #[test]
+    fn counters_and_root_instants_always_kept() {
+        let policy = SamplePolicy::one_in(1_000_000);
+        let counter = Event {
+            ts_ns: 1,
+            tid: 1,
+            kind: EventKind::Counter,
+            name: "queue_depth".to_string(),
+            span_id: 0,
+            parent_id: 3,
+            fields: vec![],
+        };
+        assert!(policy.keep(&counter));
+        let root_instant = Event {
+            ts_ns: 1,
+            tid: 1,
+            kind: EventKind::Instant,
+            name: "boot".to_string(),
+            span_id: 0,
+            parent_id: 0,
+            fields: vec![],
+        };
+        assert!(policy.keep(&root_instant));
+    }
+}

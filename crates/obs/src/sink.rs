@@ -122,6 +122,12 @@ impl Sink for MemorySink {
         if guard.len() == self.capacity {
             guard.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Overwrites of unread events are data loss a live operator
+            // should see: surface them in the metrics registry (and
+            // therefore every scrape/snapshot), not just on this sink.
+            crate::metrics::registry()
+                .counter("obs.events.dropped")
+                .inc();
         }
         guard.push_back(event.clone());
     }

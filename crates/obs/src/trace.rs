@@ -132,6 +132,104 @@ pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[Event]) -> io::Resul
     file.flush()
 }
 
+/// Parses a Chrome trace-event document (as written by
+/// [`chrome_trace`] / the flight recorder) back into [`Event`]s, so
+/// `trace_summary` can analyze flight-recorder dumps.
+///
+/// The Chrome format drops span ids, so nesting is reconstructed from
+/// the `B`/`E` bracketing per thread with fresh synthetic ids; an `E`
+/// without a matching `B` (the ring may have evicted the start) gets a
+/// synthetic id with no start partner. Timestamps convert back from
+/// microseconds to nanoseconds.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed entry.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<Event>, String> {
+    let doc = json::parse(text)?;
+    let items = doc
+        .get("traceEvents")
+        .and_then(json::JsonValue::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+
+    let mut next_id: u64 = 1;
+    // Per-tid stack of open synthetic span ids.
+    let mut stacks: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+    let mut events = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let ph = item
+            .get("ph")
+            .and_then(json::JsonValue::as_str)
+            .ok_or_else(|| format!("entry {i}: missing ph"))?;
+        let kind = match ph {
+            "B" => EventKind::SpanStart,
+            "E" => EventKind::SpanEnd,
+            "i" | "I" => EventKind::Instant,
+            "C" => EventKind::Counter,
+            // Metadata/flow/other phases aren't events we model.
+            _ => continue,
+        };
+        let name = item
+            .get("name")
+            .and_then(json::JsonValue::as_str)
+            .ok_or_else(|| format!("entry {i}: missing name"))?
+            .to_string();
+        let ts_us = item
+            .get("ts")
+            .and_then(json::JsonValue::as_f64)
+            .ok_or_else(|| format!("entry {i}: missing ts"))?;
+        let tid = item
+            .get("tid")
+            .and_then(json::JsonValue::as_u64)
+            .unwrap_or(1);
+        let mut fields = Vec::new();
+        if let Some(json::JsonValue::Object(args)) = item.get("args") {
+            for (k, v) in args {
+                let fv = match v {
+                    json::JsonValue::Bool(b) => FieldValue::Bool(*b),
+                    json::JsonValue::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+                        FieldValue::I64(*n as i64)
+                    }
+                    json::JsonValue::Num(n) => FieldValue::F64(*n),
+                    json::JsonValue::Str(s) => FieldValue::Str(s.clone()),
+                    json::JsonValue::Null => FieldValue::F64(f64::NAN),
+                    other => return Err(format!("entry {i}: unsupported arg {other:?}")),
+                };
+                fields.push((k.clone(), fv));
+            }
+        }
+        let stack = stacks.entry(tid).or_default();
+        let (span_id, parent_id) = match kind {
+            EventKind::SpanStart => {
+                let parent = stack.last().copied().unwrap_or(0);
+                let id = next_id;
+                next_id += 1;
+                stack.push(id);
+                (id, parent)
+            }
+            EventKind::SpanEnd => {
+                let id = stack.pop().unwrap_or_else(|| {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                });
+                (id, stack.last().copied().unwrap_or(0))
+            }
+            EventKind::Instant | EventKind::Counter => (0, stack.last().copied().unwrap_or(0)),
+        };
+        events.push(Event {
+            ts_ns: (ts_us * 1e3).round().max(0.0) as u64,
+            tid,
+            kind,
+            name,
+            span_id,
+            parent_id,
+            fields,
+        });
+    }
+    Ok(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +274,37 @@ mod tests {
         assert_eq!(back.len(), 3);
         assert_eq!(back[0].name, "outer");
         assert_eq!(back[2].field("dur_ns"), Some(&FieldValue::I64(8_000)));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parse() {
+        let events = sample_events();
+        let back = parse_chrome_trace(&chrome_trace(&events)).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].kind, EventKind::SpanStart);
+        assert_eq!(back[0].name, "outer");
+        assert_eq!(back[0].ts_ns, 1_000);
+        // Synthetic ids still pair the start with its end and parent
+        // the instant under the open span.
+        assert_eq!(back[2].kind, EventKind::SpanEnd);
+        assert_eq!(back[2].span_id, back[0].span_id);
+        assert_eq!(back[1].parent_id, back[0].span_id);
+        assert_eq!(back[2].field("dur_ns"), Some(&FieldValue::I64(8_000)));
+    }
+
+    #[test]
+    fn parse_chrome_trace_tolerates_unmatched_end() {
+        // A ring-evicted start: E arrives with an empty stack.
+        let doc = r#"{"traceEvents":[
+            {"name":"orphan","ph":"E","pid":1,"tid":4,"ts":2.0},
+            {"name":"next","ph":"B","pid":1,"tid":4,"ts":3.0},
+            {"name":"next","ph":"E","pid":1,"tid":4,"ts":4.0}
+        ]}"#;
+        let back = parse_chrome_trace(doc).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_ne!(back[0].span_id, 0);
+        assert_eq!(back[1].span_id, back[2].span_id);
+        assert_ne!(back[0].span_id, back[1].span_id);
     }
 
     #[test]

@@ -35,4 +35,23 @@ done
 echo "==> cargo build -q -p bench --bins --benches"
 cargo build -q -p bench --bins --benches
 
+# Live-telemetry smoke: a chaos-heavy stune run with the flight
+# recorder armed must leave Chrome-trace dumps behind, and every dump
+# must replay through trace_summary (which parses the trace, rebuilds
+# span nesting, and exits non-zero on a malformed file).
+echo "==> chaos flight-recorder smoke (stune --chaos --flight-dump + trace_summary)"
+flight_dir="$(mktemp -d)"
+cargo run -q --bin stune -- tune --workload pagerank --scale tiny \
+  --tuner random --budget 12 --batch 4 --chaos 7 \
+  --flight-dump "$flight_dir" --sample 2
+dumps=("$flight_dir"/flight_*.json)
+[ -e "${dumps[0]}" ] || { echo "no flight dump written"; exit 1; }
+for dump in "${dumps[@]}"; do
+  summary="$(cargo run -q -p bench --bin trace_summary -- "$dump")"
+  echo "$summary" | head -n 1
+  echo "$summary" | grep -q "# Trace summary" \
+    || { echo "trace_summary could not replay $dump"; exit 1; }
+done
+rm -rf "$flight_dir"
+
 echo "CI OK"

@@ -18,6 +18,17 @@
 //!                         with the given seed; trials run through the
 //!                         resilient executor (retries, deadlines,
 //!                         quarantine) and a degradation report is printed
+//!   --metrics-addr <ip:port>   serve the metrics registry as OpenMetrics
+//!                         text over HTTP for the duration of the run
+//!                         (e.g. 127.0.0.1:9464; scrape with
+//!                         `curl http://127.0.0.1:9464/metrics`)
+//!   --flight-dump <dir>   arm the flight recorder: recent events are
+//!                         kept in per-thread rings and dumped into
+//!                         <dir> as Chrome-trace JSON on quarantine /
+//!                         budget exhaustion, plus once at exit
+//!   --sample <n>          head-based trace sampling for the flight
+//!                         recorder: keep 1-in-<n> spans (errors and
+//!                         censored trials always kept; default 1)
 //! ```
 
 use std::collections::HashMap;
@@ -168,6 +179,39 @@ fn tune(args: &[String]) -> ExitCode {
             None => None,
             Some(s) => Some(s.parse().map_err(|_| "bad --chaos (seed)".to_owned())?),
         };
+        let sample: u64 = get("sample", "1")
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "bad --sample (must be >= 1)".to_owned())?;
+
+        // Live telemetry: the scrape endpoint stays up for the whole
+        // run (it is dropped — and therefore shut down — on return).
+        let _metrics_server = match flags.get("metrics-addr") {
+            None => None,
+            Some(addr) => {
+                let server = seamless_tuning::obs::MetricsServer::start(addr.as_str())
+                    .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+                println!(
+                    "serving OpenMetrics on http://{}/metrics",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+        };
+        let recorder = flags.get("flight-dump").map(|dir| {
+            use seamless_tuning::obs;
+            let recorder = obs::FlightRecorder::new(4096, dir);
+            let sink: std::sync::Arc<dyn obs::Sink> = if sample > 1 {
+                obs::SamplingSink::new(recorder.clone(), obs::SamplePolicy::one_in(sample))
+            } else {
+                recorder.clone()
+            };
+            obs::install(sink);
+            obs::flightrec::set_dump_target(recorder.clone());
+            println!("flight recorder armed: dumps in {dir}/ (sampling 1-in-{sample})");
+            recorder
+        });
 
         let job = workload.job(scale);
         println!(
@@ -228,6 +272,22 @@ fn tune(args: &[String]) -> ExitCode {
                     println!("  {name} = {value}");
                 }
             }
+        }
+
+        if let Some(recorder) = recorder {
+            // Failure-path dumps (quarantine / budget exhaustion) have
+            // already been written; leave one final on-demand dump so
+            // every armed run ends with a trace to inspect.
+            match recorder.dump("on_demand") {
+                Ok(path) => println!(
+                    "flight dump: {} ({} dump(s) this run)",
+                    path.display(),
+                    recorder.dumps()
+                ),
+                Err(e) => eprintln!("flight dump failed: {e}"),
+            }
+            seamless_tuning::obs::flightrec::uninstall();
+            seamless_tuning::obs::uninstall_all();
         }
         Ok(())
     };

@@ -40,6 +40,7 @@
 
 pub use confspace;
 pub use models;
+pub use obs;
 pub use seamless_core as core;
 pub use simcluster;
 pub use workloads;
